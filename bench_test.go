@@ -1,0 +1,200 @@
+// Benchmarks: one per table and figure of the paper's evaluation (§5),
+// each running a scaled-down version of the corresponding experiment
+// through the public API, plus ablation benches for the design choices
+// called out in DESIGN.md. Regenerate the full-size results with
+// cmd/experiments.
+package switchv2p_test
+
+import (
+	"testing"
+	"time"
+
+	"switchv2p"
+)
+
+// benchBase is the scaled-down configuration shared by the benches.
+func benchBase(scheme, traceName string) switchv2p.Config {
+	return switchv2p.Config{
+		VMs:           1024,
+		Scheme:        scheme,
+		TraceName:     traceName,
+		Load:          0.30,
+		Duration:      switchv2p.Duration(200 * time.Microsecond),
+		MaxFlows:      1000,
+		CacheFraction: 0.5,
+		Seed:          1,
+	}
+}
+
+func runBench(b *testing.B, cfg switchv2p.Config) *switchv2p.Report {
+	b.Helper()
+	var last *switchv2p.Report
+	for i := 0; i < b.N; i++ {
+		r, err := switchv2p.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(last.HitRate, "hitrate")
+	b.ReportMetric(last.Summary.AvgFCT.Micros(), "fct-µs")
+	b.ReportMetric(last.Summary.AvgFirstPacket.Micros(), "first-µs")
+	return last
+}
+
+// BenchmarkTable3 builds both evaluation topologies (Table 3).
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := switchv2p.Build(benchBase(switchv2p.SchemeNoCache, "hadoop")); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Fig. 5a-5d: cache-size experiments per trace on FT8-10K.
+func BenchmarkFig5aHadoop(b *testing.B) {
+	runBench(b, benchBase(switchv2p.SchemeSwitchV2P, "hadoop"))
+}
+
+func BenchmarkFig5bMicrobursts(b *testing.B) {
+	runBench(b, benchBase(switchv2p.SchemeSwitchV2P, "microbursts"))
+}
+
+func BenchmarkFig5cWebSearch(b *testing.B) {
+	runBench(b, benchBase(switchv2p.SchemeSwitchV2P, "websearch"))
+}
+
+func BenchmarkFig5dVideo(b *testing.B) {
+	runBench(b, benchBase(switchv2p.SchemeSwitchV2P, "video"))
+}
+
+// BenchmarkFig5Baselines covers the comparison schemes on Hadoop.
+func BenchmarkFig5Baselines(b *testing.B) {
+	for _, scheme := range []string{
+		switchv2p.SchemeNoCache, switchv2p.SchemeLocalLearning,
+		switchv2p.SchemeGwCache, switchv2p.SchemeBluebird,
+		switchv2p.SchemeOnDemand, switchv2p.SchemeDirect,
+	} {
+		b.Run(scheme, func(b *testing.B) {
+			runBench(b, benchBase(scheme, "hadoop"))
+		})
+	}
+}
+
+// BenchmarkFig6Alibaba runs the Alibaba workload on FT16-400K.
+func BenchmarkFig6Alibaba(b *testing.B) {
+	cfg := benchBase(switchv2p.SchemeSwitchV2P, "alibaba")
+	cfg.Topo = switchv2p.FT16()
+	cfg.VMs = 20000
+	cfg.MaxFlows = 500
+	runBench(b, cfg)
+}
+
+// BenchmarkFig7PodBytes measures the per-pod byte distribution run.
+func BenchmarkFig7PodBytes(b *testing.B) {
+	r := runBench(b, benchBase(switchv2p.SchemeSwitchV2P, "hadoop"))
+	var gw int64
+	for _, pod := range []int{0, 2, 5, 7} {
+		gw += r.PerPodBytes[pod]
+	}
+	b.ReportMetric(float64(gw)/float64(r.TotalSwitchBytes), "gwpod-byteshare")
+}
+
+// BenchmarkFig8PodSwitchBytes measures the gateway-pod switch breakdown.
+func BenchmarkFig8PodSwitchBytes(b *testing.B) {
+	r := runBench(b, benchBase(switchv2p.SchemeSwitchV2P, "hadoop"))
+	row := r.PodSwitchBytes(7)
+	b.ReportMetric(float64(row[len(row)-1]), "gwtor-bytes")
+}
+
+// BenchmarkFig9FewerGateways sweeps the gateway count.
+func BenchmarkFig9FewerGateways(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := switchv2p.GatewaySweep(
+			benchBase(switchv2p.SchemeSwitchV2P, "hadoop"),
+			[]int{40, 4},
+			[]string{switchv2p.SchemeSwitchV2P},
+		); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig10TopologyScaling runs a rescaled-topology point.
+func BenchmarkFig10TopologyScaling(b *testing.B) {
+	cfg := benchBase(switchv2p.SchemeSwitchV2P, "hadoop")
+	cfg.Topo = switchv2p.FT8()
+	cfg.Topo.Pods = 16
+	cfg.Topo.ServersPerRack = 2
+	cfg.Topo.GatewayPods = []int{0, 2, 4, 6, 8, 10, 12, 14}
+	cfg.Topo.GatewaysPerPod = 5
+	runBench(b, cfg)
+}
+
+// BenchmarkTable4Migration runs the incast + migration experiment.
+func BenchmarkTable4Migration(b *testing.B) {
+	var last *switchv2p.MigrationResult
+	for i := 0; i < b.N; i++ {
+		mc := switchv2p.DefaultMigrationConfig(benchBase(switchv2p.SchemeSwitchV2P, "hadoop"))
+		mc.Senders = 16
+		mc.TotalPackets = 4000
+		r, err := switchv2p.Migration(mc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(float64(last.Misdelivered), "misdelivered")
+	b.ReportMetric(float64(last.InvalidationPkts), "invalidations")
+}
+
+// BenchmarkTable5HitDistribution measures the per-layer attribution run.
+func BenchmarkTable5HitDistribution(b *testing.B) {
+	r := runBench(b, benchBase(switchv2p.SchemeSwitchV2P, "hadoop"))
+	if r.CoreStats == nil {
+		b.Fatal("missing core stats")
+	}
+	share := r.CoreStats.TotalCacheHitShare()
+	b.ReportMetric(share[0], "tor-hitshare")
+}
+
+// BenchmarkTable6P4Model evaluates the pipeline resource model.
+func BenchmarkTable6P4Model(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := switchv2p.P4Utilization(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkControllerILP runs the centralized-controller baseline
+// (Appendix A.2) on WebSearch.
+func BenchmarkControllerILP(b *testing.B) {
+	cfg := benchBase(switchv2p.SchemeController, "websearch")
+	cfg.ControllerInterval = switchv2p.Duration(150 * time.Microsecond)
+	runBench(b, cfg)
+}
+
+// Ablation benches: toggle each SwitchV2P mechanism (DESIGN.md).
+func BenchmarkAblation(b *testing.B) {
+	off := false
+	lowP := 0.0005
+	mods := map[string]func(*switchv2p.Config){
+		"full":              func(c *switchv2p.Config) {},
+		"no-learningpkts":   func(c *switchv2p.Config) { c.V2PLearningPackets = &off },
+		"no-spillover":      func(c *switchv2p.Config) { c.V2PSpillover = &off },
+		"no-promotion":      func(c *switchv2p.Config) { c.V2PPromotion = &off },
+		"low-plearn":        func(c *switchv2p.Config) { c.V2PPLearn = &lowP },
+		"tor-only-cache":    func(c *switchv2p.Config) { c.V2PAlloc = "tor-only" },
+		"bandwidth-alloc":   func(c *switchv2p.Config) { c.V2PAlloc = "bandwidth" },
+		"lru-caches":        func(c *switchv2p.Config) { c.V2PLRU = true },
+		"uniform-allswitch": func(c *switchv2p.Config) {},
+	}
+	for name, mod := range mods {
+		b.Run(name, func(b *testing.B) {
+			cfg := benchBase(switchv2p.SchemeSwitchV2P, "hadoop")
+			mod(&cfg)
+			runBench(b, cfg)
+		})
+	}
+}

@@ -1,0 +1,103 @@
+// Command switchv2p-sim runs a single simulation and prints its report:
+// one scheme, one trace, one topology, one cache size.
+//
+// Examples:
+//
+//	switchv2p-sim -scheme switchv2p -trace hadoop -cache 0.5
+//	switchv2p-sim -scheme nocache -trace websearch -duration 2ms
+//	switchv2p-sim -topo ft16 -trace alibaba -vms 100000 -maxflows 20000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"switchv2p/internal/harness"
+	"switchv2p/internal/simtime"
+	"switchv2p/internal/topology"
+	"switchv2p/internal/trace"
+)
+
+func main() {
+	var (
+		scheme   = flag.String("scheme", "switchv2p", "scheme: "+strings.Join(harness.AllSchemes, ", "))
+		traceN   = flag.String("trace", "hadoop", "trace: hadoop, websearch, alibaba, microbursts, video")
+		topoName = flag.String("topo", "ft8", "topology: ft8 | ft16")
+		cache    = flag.Float64("cache", 0.5, "aggregate cache size as a fraction of the VIP space")
+		vms      = flag.Int("vms", 10240, "number of VMs")
+		load     = flag.Float64("load", 0.30, "offered load fraction of host capacity")
+		duration = flag.Duration("duration", time.Millisecond, "traced interval (simulated)")
+		maxFlows = flag.Int("maxflows", 0, "cap on generated flows (0 = uncapped)")
+		gateways = flag.Int("gateways", 0, "restrict to N gateways (0 = all)")
+		seed     = flag.Int64("seed", 1, "random seed")
+		wlFile   = flag.String("workload", "", "replay a workload file (from tracegen -o) instead of generating")
+	)
+	flag.Parse()
+
+	var workload *trace.Workload
+	if *wlFile != "" {
+		f, err := os.Open(*wlFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		workload, err = trace.ReadWorkload(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	cfg := harness.Config{
+		Workload:       workload,
+		VMs:            *vms,
+		Scheme:         *scheme,
+		TraceName:      *traceN,
+		Load:           *load,
+		Duration:       simtime.FromStd(*duration),
+		MaxFlows:       *maxFlows,
+		CacheFraction:  *cache,
+		ActiveGateways: *gateways,
+		Seed:           *seed,
+	}
+	switch *topoName {
+	case "ft8":
+		cfg.Topo = topology.FT8()
+	case "ft16":
+		cfg.Topo = topology.FT16()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown topology %q\n", *topoName)
+		os.Exit(2)
+	}
+
+	t0 := time.Now()
+	r, err := harness.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	wall := time.Since(t0)
+
+	fmt.Printf("scheme            %s\n", r.Scheme)
+	fmt.Printf("trace             %s (%d flows, %d completed)\n", *traceN, r.Summary.Flows, r.Summary.Completed)
+	fmt.Printf("topology          %s\n", r.World.Topo)
+	fmt.Printf("cache fraction    %g (aggregate %d entries)\n", *cache, int(*cache*float64(*vms)))
+	fmt.Printf("hit rate          %.2f%% (gateway packets %d / %d sent)\n", 100*r.HitRate, r.GatewayPackets, r.HostSent)
+	fmt.Printf("avg FCT           %v (p99 %v)\n", r.Summary.AvgFCT, r.Summary.P99FCT)
+	fmt.Printf("avg first packet  %v (p99 %v)\n", r.Summary.AvgFirstPacket, r.Summary.P99FirstPacket)
+	fmt.Printf("avg packet stretch %.2f switches\n", r.AvgStretch)
+	fmt.Printf("network bytes     %d MB across switches\n", r.TotalSwitchBytes>>20)
+	fmt.Printf("drops             %d, retransmits %d, misdeliveries %d\n", r.Drops, r.Summary.Retransmits, r.Misdeliveries)
+	if r.CoreStats != nil {
+		tot := r.CoreStats.TotalCacheHitShare()
+		fmt.Printf("hit layers        core %.1f%% / spine %.1f%% / tor %.1f%%\n", 100*tot[2], 100*tot[1], 100*tot[0])
+		fmt.Printf("protocol          learning %d, spills %d/%d, promotions %d/%d, invalidations %d\n",
+			r.LearningPkts, r.CoreStats.SpillInserted, r.CoreStats.SpillAttached,
+			r.CoreStats.PromoteInserted, r.CoreStats.PromoteAttached, r.InvalidationPkts)
+	}
+	fmt.Printf("wall time         %v\n", wall.Round(time.Millisecond))
+}

@@ -1,0 +1,55 @@
+package switchv2p_test
+
+import (
+	"fmt"
+	"time"
+
+	"switchv2p"
+)
+
+// ExampleRun demonstrates the minimal end-to-end use of the library:
+// run one workload under SwitchV2P and read the headline metrics.
+func ExampleRun() {
+	report, err := switchv2p.Run(switchv2p.Config{
+		VMs:           512,
+		Scheme:        switchv2p.SchemeSwitchV2P,
+		TraceName:     "hadoop",
+		Duration:      switchv2p.Duration(100 * time.Microsecond),
+		MaxFlows:      100,
+		CacheFraction: 0.5,
+		Seed:          1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("scheme:", report.Scheme)
+	fmt.Println("all flows completed:", report.Summary.Completed == report.Summary.Flows)
+	fmt.Println("some packets skipped the gateway:", report.HitRate > 0)
+	// Output:
+	// scheme: SwitchV2P
+	// all flows completed: true
+	// some packets skipped the gateway: true
+}
+
+// ExampleCacheSizeSweep reproduces the structure of the paper's Fig. 5:
+// schemes swept over cache sizes, normalized against NoCache.
+func ExampleCacheSizeSweep() {
+	base := switchv2p.Config{
+		VMs:       512,
+		TraceName: "hadoop",
+		Duration:  switchv2p.Duration(100 * time.Microsecond),
+		MaxFlows:  100,
+		Seed:      1,
+	}
+	points, err := switchv2p.CacheSizeSweep(base, []float64{1.0},
+		[]string{switchv2p.SchemeNoCache, switchv2p.SchemeSwitchV2P})
+	if err != nil {
+		panic(err)
+	}
+	for _, p := range points {
+		fmt.Printf("%s: FCT improvement >= 1: %v\n", p.Scheme, p.FCTImprovement >= 1)
+	}
+	// Output:
+	// NoCache: FCT improvement >= 1: true
+	// SwitchV2P: FCT improvement >= 1: true
+}

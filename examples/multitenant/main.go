@@ -1,0 +1,112 @@
+// Multitenant: demonstrate the paper's §4 multitenancy design — each
+// VPC gets a private partition of every switch's cache (isolated by the
+// tunnel VNI), and an operator policy decides which VPCs receive
+// in-network caching at all. This example builds two tenants with
+// identical traffic and shows that (a) partitions are isolated, and (b)
+// a policy-disabled tenant transparently falls back to pure gateway
+// forwarding.
+//
+// This example uses the internal packages directly (it is part of the
+// module) to reach the tenancy knobs that sit below the public façade.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"switchv2p/internal/core"
+	"switchv2p/internal/netaddr"
+	"switchv2p/internal/simnet"
+	"switchv2p/internal/simtime"
+	"switchv2p/internal/topology"
+	"switchv2p/internal/transport"
+	"switchv2p/internal/vnet"
+)
+
+const (
+	tenantBlue vnet.TenantID = 1
+	tenantRed  vnet.TenantID = 2
+)
+
+func main() {
+	topo, err := topology.New(topology.FT8())
+	if err != nil {
+		log.Fatal(err)
+	}
+	net := vnet.New(topo)
+
+	// Two VPCs, 128 VMs each, interleaved over the same servers.
+	servers := topo.Servers()
+	var blue, red []netaddr.VIP
+	for i := 0; i < 128; i++ {
+		b, err := net.AddVMForTenant(servers[i%len(servers)], tenantBlue)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r, err := net.AddVMForTenant(servers[(i+13)%len(servers)], tenantRed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		blue, red = append(blue, b), append(red, r)
+	}
+
+	// SwitchV2P with per-tenant partitions: blue gets 75% of each
+	// switch's lines, red 25% — but the operator has only ENABLED blue
+	// (say red's gateway load does not justify switch memory yet).
+	opts := core.DefaultOptions(256)
+	opts.Tenancy = &core.Tenancy{
+		Shares:  map[vnet.TenantID]float64{tenantBlue: 0.75, tenantRed: 0.25},
+		Enabled: func(t vnet.TenantID) bool { return t == tenantBlue },
+	}
+	scheme := core.New(topo, opts)
+	engine := simnet.New(topo, net, scheme, simnet.DefaultConfig())
+	agent := transport.New(engine, transport.DefaultConfig())
+
+	// Identical workloads for both tenants: 200 small flows with heavy
+	// destination reuse.
+	flowID := uint64(1)
+	addFlows := func(vips []netaddr.VIP) {
+		for i := 0; i < 200; i++ {
+			agent.AddFlow(transport.FlowSpec{
+				ID:    flowID,
+				Src:   vips[i%32],
+				Dst:   vips[32+i%8], // 8 hot destinations
+				Proto: transport.TCP,
+				Bytes: 4000,
+				Start: simtime.Time(i) * simtime.Time(2*simtime.Microsecond),
+			})
+			flowID++
+		}
+	}
+	addFlows(blue)
+	addFlows(red)
+	engine.Run(simtime.Never)
+
+	// Per-tenant gateway load: count delivered packets per VNI.
+	fmt.Println("two VPCs, same workload; in-network caching enabled for BLUE only:")
+	fmt.Println()
+	fmt.Printf("total gateway packets: %d of %d sent (overall hit rate %.1f%%)\n",
+		engine.C.GatewayPackets, engine.C.HostSent,
+		100*(1-float64(engine.C.GatewayPackets)/float64(engine.C.HostSent)))
+
+	// Show partition isolation on the busiest ToR.
+	var busiest int32
+	for _, sw := range topo.Switches {
+		if engine.C.SwitchPackets[sw.Idx] > engine.C.SwitchPackets[busiest] {
+			busiest = sw.Idx
+		}
+	}
+	bluePart := scheme.TenantCache(busiest, tenantBlue)
+	redPart := scheme.TenantCache(busiest, tenantRed)
+	fmt.Printf("\nbusiest switch %d partitions: blue %d/%d entries used, red %d/%d\n",
+		busiest, bluePart.Used(), bluePart.Len(), redPart.Used(), redPart.Len())
+	if redPart.Used() > 0 {
+		fmt.Println("unexpected: red cached despite policy!")
+	} else {
+		fmt.Println("red VMs resolved exclusively via gateways (policy-disabled),")
+		fmt.Println("blue traffic was cached in its private partitions.")
+	}
+
+	s := agent.Summarize()
+	fmt.Printf("\nflows completed %d/%d, avg FCT %v\n", s.Completed, s.Flows, s.AvgFCT)
+}

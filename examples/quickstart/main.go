@@ -1,0 +1,56 @@
+// Quickstart: run the same Hadoop-like workload under the pure-gateway
+// baseline and under SwitchV2P, and compare hit rate, flow completion
+// time and first-packet latency — the paper's headline metrics.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"switchv2p"
+)
+
+func main() {
+	base := switchv2p.Config{
+		VMs:           2048,
+		TraceName:     "hadoop",
+		Load:          0.30,
+		Duration:      switchv2p.Duration(500 * time.Microsecond),
+		MaxFlows:      3000,
+		CacheFraction: 0.5, // aggregate in-network cache = 50% of the VIP space
+		Seed:          42,
+	}
+
+	fmt.Println("running the same workload under three translation schemes...")
+	fmt.Println()
+	fmt.Printf("%-12s %10s %12s %14s %10s\n", "scheme", "hit rate", "avg FCT", "first packet", "stretch")
+
+	var noCacheFCT switchv2p.Duration
+	for _, scheme := range []string{
+		switchv2p.SchemeNoCache,
+		switchv2p.SchemeSwitchV2P,
+		switchv2p.SchemeDirect,
+	} {
+		cfg := base
+		cfg.Scheme = scheme
+		report, err := switchv2p.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s %9.1f%% %12v %14v %10.2f\n",
+			report.Scheme, 100*report.HitRate,
+			report.Summary.AvgFCT, report.Summary.AvgFirstPacket, report.AvgStretch)
+		if scheme == switchv2p.SchemeNoCache {
+			noCacheFCT = report.Summary.AvgFCT
+		} else if scheme == switchv2p.SchemeSwitchV2P {
+			fmt.Printf("%-12s -> %.2fx faster flow completion than the gateway design\n",
+				"", float64(noCacheFCT)/float64(report.Summary.AvgFCT))
+		}
+	}
+
+	fmt.Println()
+	fmt.Println("SwitchV2P resolves most packets inside the network (high hit")
+	fmt.Println("rate), so they skip the 40µs gateway detour; Direct is the")
+	fmt.Println("host-driven upper bound that ignores mapping-update costs.")
+}

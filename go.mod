@@ -1,0 +1,3 @@
+module switchv2p
+
+go 1.22

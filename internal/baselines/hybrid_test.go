@@ -1,0 +1,141 @@
+package baselines
+
+import (
+	"testing"
+
+	"switchv2p/internal/core"
+	"switchv2p/internal/netaddr"
+	"switchv2p/internal/packet"
+	"switchv2p/internal/simnet"
+	"switchv2p/internal/simtime"
+	"switchv2p/internal/topology"
+)
+
+func newHybridWorld(t testing.TB, threshold int) (*world, *Hybrid) {
+	t.Helper()
+	var h *Hybrid
+	w := newWorld(t, func(topo *topology.Topology) simnet.Scheme {
+		opts := core.DefaultOptions(1024)
+		opts.PLearn = 1.0
+		h = NewHybrid(topo, opts, threshold, simtime.Millisecond)
+		return h
+	})
+	return w, h
+}
+
+func TestHybridOffloadsHotDestination(t *testing.T) {
+	w, h := newHybridWorld(t, 3)
+	src, dst := w.vips[0], w.vips[9]
+	srcHost := w.hostOf(src)
+
+	// Below the threshold: no host rule; traffic resolves in-network or
+	// at the gateway.
+	w.send(1, 0, src, dst)
+	w.send(1, 1, src, dst)
+	if _, ok := h.HostRule(srcHost, dst); ok {
+		t.Fatal("host rule installed below threshold")
+	}
+	// Third packet crosses the threshold; the rule lands after the
+	// control-plane latency (1 ms).
+	w.send(1, 2, src, dst)
+	w.e.Q.After(2*simtime.Millisecond, func() {})
+	w.e.Run(simtime.Never)
+	if _, ok := h.HostRule(srcHost, dst); !ok {
+		t.Fatal("host rule not installed after threshold + latency")
+	}
+	if h.RulesOffload != 1 {
+		t.Fatalf("rules offloaded = %d, want 1", h.RulesOffload)
+	}
+	// Subsequent packets resolve at the host: no gateway, no switch
+	// lookups for them.
+	gw := w.e.C.GatewayPackets
+	lookups := h.Scheme.S.Lookups
+	w.send(1, 3, src, dst)
+	if w.e.C.GatewayPackets != gw {
+		t.Fatal("host-resolved packet used the gateway")
+	}
+	if h.Scheme.S.Lookups != lookups {
+		t.Fatal("switches performed lookups for a host-resolved packet (§4 violated)")
+	}
+	if h.HostHits == 0 {
+		t.Fatal("host hits not counted")
+	}
+}
+
+func TestHybridSwitchEntryDecays(t *testing.T) {
+	// §4: once a mapping is cached at the host, the corresponding switch
+	// entries stop being hit; their access bits stay clear and they lose
+	// to conservative insertions.
+	w, h := newHybridWorld(t, 1) // offload immediately
+	src, dst := w.vips[0], w.vips[9]
+	srcToR := w.topo.Hosts[w.hostOf(src)].ToR
+
+	w.send(1, 0, src, dst) // cold: resolves via gateway, seeds caches, offloads
+	w.e.Q.After(2*simtime.Millisecond, func() {})
+	w.e.Run(simtime.Never)
+	// The sender ToR holds dst's mapping (learning packet), with its
+	// access bit clear (never hit).
+	cache := h.Scheme.Cache(srcToR)
+	if _, ok := cache.Peek(dst); !ok {
+		t.Skip("sender ToR was not seeded; nothing to decay")
+	}
+	// Host-resolved traffic leaves the access bit untouched...
+	w.send(1, 1, src, dst)
+	w.send(1, 2, src, dst)
+	// ...so a conservative insertion can displace it (access bit clear).
+	pip, _ := w.net.Lookup(dst)
+	_ = pip
+	res := cache.InsertIfClear(netaddr.Mapping{VIP: w.vips[50], PIP: 0x0a000001})
+	if !res.Inserted && res.Evicted.IsValid() {
+		t.Fatal("unexpected insert result")
+	}
+	// Note: direct-mapped indexing means the new key may land on another
+	// line; the essential §4 property asserted here is that the dst line
+	// was never marked accessed by host-resolved traffic:
+	if _, hit, was := cache.Lookup(dst); hit && was {
+		t.Fatal("switch entry for host-cached destination was marked accessed")
+	}
+}
+
+func TestHybridColdTrafficStillUsesSwitches(t *testing.T) {
+	w, h := newHybridWorld(t, 1000000) // effectively never offload
+	src, dst := w.vips[0], w.vips[9]
+	w.send(1, 0, src, dst)
+	gw := w.e.C.GatewayPackets
+	w.send(1, 1, src, dst)
+	if w.e.C.GatewayPackets != gw {
+		t.Fatal("second packet should hit in-network caches, not the gateway")
+	}
+	if h.Scheme.S.Hits == 0 {
+		t.Fatal("no switch hits for cold traffic")
+	}
+	if h.HostHits != 0 {
+		t.Fatal("host hits without offload")
+	}
+}
+
+func TestHybridMigrationRecovery(t *testing.T) {
+	w, h := newHybridWorld(t, 1)
+	src, dst := w.vips[0], w.vips[9]
+	w.send(1, 0, src, dst)
+	w.e.Q.After(2*simtime.Millisecond, func() {})
+	w.e.Run(simtime.Never)
+	if _, ok := h.HostRule(w.hostOf(src), dst); !ok {
+		t.Fatal("precondition: no host rule")
+	}
+	newHost := w.hostOf(w.vips[100])
+	if err := w.net.Migrate(dst, newHost); err != nil {
+		t.Fatal(err)
+	}
+	var deliveredTo int32 = -1
+	w.e.Handler = func(hh int32, p *packet.Packet) { deliveredTo = hh }
+	// The stale host rule misroutes; SwitchV2P's misdelivery path (via
+	// gateway) still delivers correctly.
+	w.send(1, 1, src, dst)
+	if deliveredTo != newHost {
+		t.Fatalf("delivered to %d, want %d", deliveredTo, newHost)
+	}
+	if w.e.C.Misdeliveries == 0 {
+		t.Fatal("expected a misdelivery from the stale host rule")
+	}
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"container/list"
+
+	"switchv2p/internal/netaddr"
+)
+
+// MappingCache is the in-switch cache abstraction shared by the
+// direct-mapped Cache (the paper's design, §3.2) and the
+// fully-associative LRU AssocCache (the ablation alternative). The
+// direct-mapped design is what a Tofino register array can implement;
+// the LRU variant shows what an idealized replacement policy would buy.
+type MappingCache interface {
+	// Lookup searches for vip, updating recency/access state on hit.
+	// wasAccessed reports whether the entry had already been used before
+	// this lookup (the promotion trigger).
+	Lookup(vip netaddr.VIP) (pip netaddr.PIP, hit, wasAccessed bool)
+	// Peek inspects without touching recency state.
+	Peek(vip netaddr.VIP) (netaddr.PIP, bool)
+	// Insert admits unconditionally (the "All" admission policy).
+	Insert(m netaddr.Mapping) InsertResult
+	// InsertIfClear admits only when no actively-used entry would be
+	// displaced (the conservative spine/core admission policy).
+	InsertIfClear(m netaddr.Mapping) InsertResult
+	// Invalidate removes vip if it maps to stalePIP.
+	Invalidate(vip netaddr.VIP, stalePIP netaddr.PIP) bool
+	// Len returns the capacity in entries.
+	Len() int
+	// Used returns the number of occupied entries.
+	Used() int
+}
+
+var (
+	_ MappingCache = (*Cache)(nil)
+	_ MappingCache = (*AssocCache)(nil)
+)
+
+// AssocCache is a fully-associative cache with LRU replacement and the
+// same access-bit semantics as the direct-mapped Cache: a victim with
+// its access bit set blocks conservative insertion. It is not
+// implementable in a switch data plane at line rate; it exists to
+// quantify how much the direct-mapped restriction costs (ablation).
+type AssocCache struct {
+	capacity int
+	ll       *list.List // front = most recently used
+	index    map[netaddr.VIP]*list.Element
+
+	Lookups int64
+	Hits    int64
+}
+
+type assocEntry struct {
+	vip    netaddr.VIP
+	pip    netaddr.PIP
+	access bool
+}
+
+// NewAssocCache returns an LRU cache holding up to capacity mappings.
+func NewAssocCache(capacity int) *AssocCache {
+	if capacity < 0 {
+		panic("core: negative cache size")
+	}
+	return &AssocCache{
+		capacity: capacity,
+		ll:       list.New(),
+		index:    make(map[netaddr.VIP]*list.Element),
+	}
+}
+
+// Len implements MappingCache.
+func (c *AssocCache) Len() int { return c.capacity }
+
+// Used implements MappingCache.
+func (c *AssocCache) Used() int { return c.ll.Len() }
+
+// Lookup implements MappingCache.
+func (c *AssocCache) Lookup(vip netaddr.VIP) (netaddr.PIP, bool, bool) {
+	if c.capacity == 0 {
+		return netaddr.NoPIP, false, false
+	}
+	c.Lookups++
+	el, ok := c.index[vip]
+	if !ok {
+		return netaddr.NoPIP, false, false
+	}
+	c.Hits++
+	c.ll.MoveToFront(el)
+	e := el.Value.(*assocEntry)
+	was := e.access
+	e.access = true
+	return e.pip, true, was
+}
+
+// Peek implements MappingCache.
+func (c *AssocCache) Peek(vip netaddr.VIP) (netaddr.PIP, bool) {
+	if el, ok := c.index[vip]; ok {
+		return el.Value.(*assocEntry).pip, true
+	}
+	return netaddr.NoPIP, false
+}
+
+// Insert implements MappingCache: admit unconditionally, evicting the
+// least recently used entry when full.
+func (c *AssocCache) Insert(m netaddr.Mapping) InsertResult {
+	return c.insert(m, false)
+}
+
+// InsertIfClear implements MappingCache: refuse to displace a victim
+// whose access bit is set.
+func (c *AssocCache) InsertIfClear(m netaddr.Mapping) InsertResult {
+	return c.insert(m, true)
+}
+
+func (c *AssocCache) insert(m netaddr.Mapping, conservative bool) InsertResult {
+	if c.capacity == 0 || !m.IsValid() {
+		return InsertResult{}
+	}
+	if el, ok := c.index[m.VIP]; ok {
+		e := el.Value.(*assocEntry)
+		if e.pip != m.PIP {
+			e.pip = m.PIP
+			e.access = false // remapped: the old value was stale
+		}
+		c.ll.MoveToFront(el)
+		return InsertResult{Inserted: true}
+	}
+	res := InsertResult{Inserted: true, New: true}
+	if c.ll.Len() >= c.capacity {
+		victim := c.ll.Back()
+		ve := victim.Value.(*assocEntry)
+		if conservative && ve.access {
+			return InsertResult{}
+		}
+		res.Evicted = netaddr.Mapping{VIP: ve.vip, PIP: ve.pip}
+		delete(c.index, ve.vip)
+		c.ll.Remove(victim)
+	}
+	el := c.ll.PushFront(&assocEntry{vip: m.VIP, pip: m.PIP})
+	c.index[m.VIP] = el
+	return res
+}
+
+// Invalidate implements MappingCache.
+func (c *AssocCache) Invalidate(vip netaddr.VIP, stalePIP netaddr.PIP) bool {
+	el, ok := c.index[vip]
+	if !ok {
+		return false
+	}
+	if el.Value.(*assocEntry).pip != stalePIP {
+		return false
+	}
+	delete(c.index, vip)
+	c.ll.Remove(el)
+	return true
+}
+
+// HitRate returns hits/lookups.
+func (c *AssocCache) HitRate() float64 {
+	if c.Lookups == 0 {
+		return 0
+	}
+	return float64(c.Hits) / float64(c.Lookups)
+}

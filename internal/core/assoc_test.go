@@ -1,0 +1,190 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"switchv2p/internal/netaddr"
+)
+
+func TestAssocBasics(t *testing.T) {
+	c := NewAssocCache(2)
+	if c.Len() != 2 || c.Used() != 0 {
+		t.Fatalf("fresh cache: len=%d used=%d", c.Len(), c.Used())
+	}
+	r := c.Insert(netaddr.Mapping{VIP: 1, PIP: 10})
+	if !r.Inserted || !r.New {
+		t.Fatalf("insert = %+v", r)
+	}
+	pip, hit, was := c.Lookup(1)
+	if !hit || pip != 10 || was {
+		t.Fatalf("lookup = %v,%v,%v", pip, hit, was)
+	}
+	if _, _, was := c.Lookup(1); !was {
+		t.Fatal("second lookup should report prior access")
+	}
+	if c.HitRate() != 1 {
+		t.Fatalf("hit rate = %v", c.HitRate())
+	}
+}
+
+func TestAssocLRUEviction(t *testing.T) {
+	c := NewAssocCache(2)
+	c.Insert(netaddr.Mapping{VIP: 1, PIP: 10})
+	c.Insert(netaddr.Mapping{VIP: 2, PIP: 20})
+	c.Lookup(1) // 1 is now most recently used
+	r := c.Insert(netaddr.Mapping{VIP: 3, PIP: 30})
+	if r.Evicted != (netaddr.Mapping{VIP: 2, PIP: 20}) {
+		t.Fatalf("evicted %v, want the LRU entry (2)", r.Evicted)
+	}
+	if _, ok := c.Peek(1); !ok {
+		t.Fatal("recently used entry evicted")
+	}
+	if _, ok := c.Peek(2); ok {
+		t.Fatal("LRU entry survived")
+	}
+}
+
+func TestAssocInsertIfClearProtectsActiveVictim(t *testing.T) {
+	c := NewAssocCache(1)
+	c.Insert(netaddr.Mapping{VIP: 1, PIP: 10})
+	c.Lookup(1) // access bit set
+	if r := c.InsertIfClear(netaddr.Mapping{VIP: 2, PIP: 20}); r.Inserted {
+		t.Fatal("displaced an active victim")
+	}
+	// An unconditional insert still works.
+	if r := c.Insert(netaddr.Mapping{VIP: 2, PIP: 20}); !r.Inserted {
+		t.Fatal("unconditional insert refused")
+	}
+}
+
+func TestAssocRefreshAndRemap(t *testing.T) {
+	c := NewAssocCache(4)
+	c.Insert(netaddr.Mapping{VIP: 1, PIP: 10})
+	c.Lookup(1)
+	c.Insert(netaddr.Mapping{VIP: 1, PIP: 11}) // remap clears access
+	pip, hit, was := c.Lookup(1)
+	if !hit || pip != 11 || was {
+		t.Fatalf("after remap: %v,%v,%v", pip, hit, was)
+	}
+}
+
+func TestAssocInvalidate(t *testing.T) {
+	c := NewAssocCache(4)
+	c.Insert(netaddr.Mapping{VIP: 1, PIP: 10})
+	if c.Invalidate(1, 99) {
+		t.Fatal("invalidated with wrong stale PIP")
+	}
+	if !c.Invalidate(1, 10) {
+		t.Fatal("failed to invalidate")
+	}
+	if c.Used() != 0 {
+		t.Fatalf("used = %d after invalidation", c.Used())
+	}
+}
+
+func TestAssocZeroCapacity(t *testing.T) {
+	c := NewAssocCache(0)
+	if r := c.Insert(netaddr.Mapping{VIP: 1, PIP: 2}); r.Inserted {
+		t.Fatal("zero-capacity insert succeeded")
+	}
+	if _, hit, _ := c.Lookup(1); hit {
+		t.Fatal("zero-capacity hit")
+	}
+}
+
+func TestAssocNeverExceedsCapacity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := NewAssocCache(8)
+		for i := 0; i < 500; i++ {
+			vip := netaddr.VIP(rng.Intn(64) + 1)
+			pip := netaddr.PIP(rng.Intn(100) + 1)
+			switch rng.Intn(3) {
+			case 0:
+				c.Insert(netaddr.Mapping{VIP: vip, PIP: pip})
+			case 1:
+				c.InsertIfClear(netaddr.Mapping{VIP: vip, PIP: pip})
+			case 2:
+				c.Lookup(vip)
+			}
+			if c.Used() > 8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAssocVsDirectConsistency(t *testing.T) {
+	// Property: both implementations never return a PIP that was not the
+	// most recent value inserted for that VIP.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		for _, c := range []MappingCache{NewCache(16), NewAssocCache(16)} {
+			truth := make(map[netaddr.VIP]netaddr.PIP)
+			for i := 0; i < 300; i++ {
+				vip := netaddr.VIP(rng.Intn(40) + 1)
+				pip := netaddr.PIP(rng.Intn(50) + 1)
+				if rng.Intn(2) == 0 {
+					if c.Insert(netaddr.Mapping{VIP: vip, PIP: pip}).Inserted {
+						truth[vip] = pip
+					}
+				} else if got, hit, _ := c.Lookup(vip); hit && got != truth[vip] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSchemeWithLRUCaches(t *testing.T) {
+	opts := DefaultOptions(64)
+	opts.LRU = true
+	opts.LearningPackets = false
+	w := newWorld(t, opts)
+	src, dst := w.vips[0], w.vips[9]
+	w.send(1, 0, src, dst, true)
+	w.send(1, 1, src, dst, false)
+	if w.e.C.GatewayPackets != 1 {
+		t.Fatalf("LRU scheme: gateway packets = %d, want 1", w.e.C.GatewayPackets)
+	}
+	if w.scheme.S.Hits == 0 {
+		t.Fatal("LRU scheme recorded no hits")
+	}
+}
+
+func TestLRUBeatsDirectMappedUnderConflicts(t *testing.T) {
+	// With a working set equal to capacity, the direct-mapped cache
+	// suffers conflict misses that the fully-associative cache avoids.
+	const capacity = 32
+	dm, lru := NewCache(capacity), NewAssocCache(capacity)
+	// Install a working set exactly equal to the capacity...
+	for i := 1; i <= capacity; i++ {
+		m := netaddr.Mapping{VIP: netaddr.VIP(i), PIP: netaddr.PIP(i)}
+		dm.Insert(m)
+		lru.Insert(m)
+	}
+	// ...then only look up: the associative cache holds all 32 entries,
+	// while hash conflicts make the direct-mapped cache lose some.
+	for round := 0; round < 10; round++ {
+		for i := 1; i <= capacity; i++ {
+			dm.Lookup(netaddr.VIP(i))
+			lru.Lookup(netaddr.VIP(i))
+		}
+	}
+	if lru.HitRate() != 1 {
+		t.Fatalf("LRU hit rate %v, want 1 (working set fits)", lru.HitRate())
+	}
+	if dm.HitRate() >= 1 {
+		t.Fatalf("direct-mapped hit rate %v, expected conflict misses", dm.HitRate())
+	}
+}

@@ -1,0 +1,242 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"switchv2p/internal/netaddr"
+)
+
+func TestZeroLineCache(t *testing.T) {
+	c := NewCache(0)
+	if _, hit, _ := c.Lookup(1); hit {
+		t.Fatal("zero-line cache hit")
+	}
+	if r := c.Insert(netaddr.Mapping{VIP: 1, PIP: 2}); r.Inserted {
+		t.Fatal("zero-line cache inserted")
+	}
+	if r := c.InsertIfClear(netaddr.Mapping{VIP: 1, PIP: 2}); r.Inserted {
+		t.Fatal("zero-line cache inserted (conditional)")
+	}
+	if c.Invalidate(1, 2) {
+		t.Fatal("zero-line cache invalidated")
+	}
+	if _, ok := c.Peek(1); ok {
+		t.Fatal("zero-line cache peeked")
+	}
+}
+
+func TestNegativeSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewCache(-1)
+}
+
+func TestInsertLookup(t *testing.T) {
+	c := NewCache(64)
+	m := netaddr.Mapping{VIP: 100, PIP: 200}
+	r := c.Insert(m)
+	if !r.Inserted || !r.New || r.Evicted.IsValid() {
+		t.Fatalf("Insert = %+v", r)
+	}
+	pip, hit, wasAccessed := c.Lookup(100)
+	if !hit || pip != 200 {
+		t.Fatalf("Lookup = %v,%v", pip, hit)
+	}
+	if wasAccessed {
+		t.Fatal("fresh entry reported as previously accessed")
+	}
+	// Second hit: access bit was set by the first.
+	if _, _, was := c.Lookup(100); !was {
+		t.Fatal("second lookup should see access bit set")
+	}
+	if c.Lookups != 2 || c.Hits != 2 {
+		t.Fatalf("counters lookups=%d hits=%d", c.Lookups, c.Hits)
+	}
+	if c.HitRate() != 1.0 {
+		t.Fatalf("HitRate = %v", c.HitRate())
+	}
+}
+
+func TestRefreshSameKey(t *testing.T) {
+	c := NewCache(64)
+	c.Insert(netaddr.Mapping{VIP: 100, PIP: 200})
+	c.Lookup(100) // sets access bit
+	r := c.Insert(netaddr.Mapping{VIP: 100, PIP: 201})
+	if !r.Inserted || r.New || r.Evicted.IsValid() {
+		t.Fatalf("refresh = %+v", r)
+	}
+	pip, hit, was := c.Lookup(100)
+	if !hit || pip != 201 {
+		t.Fatalf("after refresh Lookup = %v,%v", pip, hit)
+	}
+	if was {
+		t.Fatal("remapped entry must have access bit cleared")
+	}
+	// Refreshing with the same value keeps the access bit.
+	c.Insert(netaddr.Mapping{VIP: 100, PIP: 201})
+	if _, _, was := c.Lookup(100); !was {
+		t.Fatal("same-value refresh must keep access bit")
+	}
+}
+
+// collide finds two distinct VIPs whose hash maps to the same line.
+func collide(lines int) (a, b netaddr.VIP) {
+	target := netaddr.HashVIP(1) % uint32(lines)
+	for v := netaddr.VIP(2); ; v++ {
+		if netaddr.HashVIP(v)%uint32(lines) == target {
+			return 1, v
+		}
+	}
+}
+
+func TestEvictionAndSpillPayload(t *testing.T) {
+	const lines = 16
+	a, b := collide(lines)
+	c := NewCache(lines)
+	c.Insert(netaddr.Mapping{VIP: a, PIP: 10})
+	r := c.Insert(netaddr.Mapping{VIP: b, PIP: 20})
+	if !r.Inserted || !r.New {
+		t.Fatalf("colliding insert = %+v", r)
+	}
+	if r.Evicted != (netaddr.Mapping{VIP: a, PIP: 10}) {
+		t.Fatalf("Evicted = %v", r.Evicted)
+	}
+	if _, hit, _ := c.Lookup(a); hit {
+		t.Fatal("evicted entry still present")
+	}
+}
+
+func TestMissClearsAccessBit(t *testing.T) {
+	const lines = 16
+	a, b := collide(lines)
+	c := NewCache(lines)
+	c.Insert(netaddr.Mapping{VIP: a, PIP: 10})
+	c.Lookup(a) // access bit set
+	c.Lookup(b) // miss on the same line clears it
+	if _, _, was := c.Lookup(a); was {
+		t.Fatal("access bit should have been cleared by the colliding miss")
+	}
+}
+
+func TestInsertIfClearRespectsActiveEntries(t *testing.T) {
+	const lines = 16
+	a, b := collide(lines)
+	c := NewCache(lines)
+	c.Insert(netaddr.Mapping{VIP: a, PIP: 10})
+	c.Lookup(a) // mark active
+	if r := c.InsertIfClear(netaddr.Mapping{VIP: b, PIP: 20}); r.Inserted {
+		t.Fatal("InsertIfClear evicted an active entry")
+	}
+	if pip, _ := c.Peek(a); pip != 10 {
+		t.Fatal("active entry lost")
+	}
+	// A colliding miss clears the bit; then the insert is admitted.
+	c.Lookup(b)
+	if r := c.InsertIfClear(netaddr.Mapping{VIP: b, PIP: 20}); !r.Inserted {
+		t.Fatal("InsertIfClear refused an inactive line")
+	}
+	// Same-key refresh is always admitted even if active.
+	c.Lookup(b)
+	if r := c.InsertIfClear(netaddr.Mapping{VIP: b, PIP: 21}); !r.Inserted {
+		t.Fatal("InsertIfClear refused same-key refresh")
+	}
+}
+
+func TestInsertIfClearEmptyLine(t *testing.T) {
+	c := NewCache(16)
+	if r := c.InsertIfClear(netaddr.Mapping{VIP: 1, PIP: 2}); !r.Inserted || !r.New {
+		t.Fatalf("InsertIfClear on empty line = %+v", r)
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := NewCache(16)
+	c.Insert(netaddr.Mapping{VIP: 1, PIP: 2})
+	if c.Invalidate(1, 99) {
+		t.Fatal("invalidated with wrong stale PIP")
+	}
+	if _, hit, _ := c.Lookup(1); !hit {
+		t.Fatal("entry lost after mismatched invalidation")
+	}
+	if !c.Invalidate(1, 2) {
+		t.Fatal("failed to invalidate matching entry")
+	}
+	if _, hit, _ := c.Lookup(1); hit {
+		t.Fatal("entry present after invalidation")
+	}
+	if c.Invalidate(1, 2) {
+		t.Fatal("double invalidation reported true")
+	}
+}
+
+func TestInvalidMappingIgnored(t *testing.T) {
+	c := NewCache(16)
+	if r := c.Insert(netaddr.Mapping{}); r.Inserted {
+		t.Fatal("inserted invalid mapping")
+	}
+	if r := c.Insert(netaddr.Mapping{VIP: 1}); r.Inserted {
+		t.Fatal("inserted mapping with no PIP")
+	}
+}
+
+func TestUsed(t *testing.T) {
+	c := NewCache(128)
+	if c.Used() != 0 {
+		t.Fatalf("Used = %d on empty cache", c.Used())
+	}
+	for i := 1; i <= 20; i++ {
+		c.Insert(netaddr.Mapping{VIP: netaddr.VIP(i), PIP: netaddr.PIP(i)})
+	}
+	if u := c.Used(); u == 0 || u > 20 {
+		t.Fatalf("Used = %d, want in (0,20]", u)
+	}
+}
+
+func TestCacheNeverLies(t *testing.T) {
+	// Property: after any operation sequence, a hit returns the most
+	// recently inserted PIP for that VIP.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := NewCache(32)
+		truth := make(map[netaddr.VIP]netaddr.PIP)
+		for op := 0; op < 500; op++ {
+			vip := netaddr.VIP(rng.Intn(64) + 1)
+			switch rng.Intn(3) {
+			case 0:
+				pip := netaddr.PIP(rng.Intn(100) + 1)
+				if c.Insert(netaddr.Mapping{VIP: vip, PIP: pip}).Inserted {
+					truth[vip] = pip
+				}
+			case 1:
+				pip := netaddr.PIP(rng.Intn(100) + 1)
+				if c.InsertIfClear(netaddr.Mapping{VIP: vip, PIP: pip}).Inserted {
+					truth[vip] = pip
+				}
+			case 2:
+				if pip, hit, _ := c.Lookup(vip); hit && pip != truth[vip] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCacheLookup(b *testing.B) {
+	c := NewCache(4096)
+	for i := 1; i <= 4096; i++ {
+		c.Insert(netaddr.Mapping{VIP: netaddr.VIP(i), PIP: netaddr.PIP(i)})
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Lookup(netaddr.VIP(i&4095 + 1))
+	}
+}

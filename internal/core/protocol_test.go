@@ -1,0 +1,246 @@
+package core
+
+import (
+	"testing"
+
+	"switchv2p/internal/netaddr"
+	"switchv2p/internal/packet"
+	"switchv2p/internal/simtime"
+	"switchv2p/internal/topology"
+)
+
+// TestInvalidationEnRoute: an invalidation packet cleans matching stale
+// entries on every switch along its path, not only at its target (§3.3
+// "This process ensures that all the caches along the path to the
+// destination are invalidated as well").
+func TestInvalidationEnRoute(t *testing.T) {
+	opts := DefaultOptions(1024)
+	opts.LearningPackets = false
+	w := newWorld(t, opts)
+	vip := w.vips[9]
+	stale := netaddr.PIP(0x0a0000ff)
+
+	// Plant the stale mapping at a target core and at a spine on the path.
+	srcToR := w.topo.Hosts[w.hostOf(w.vips[0])].ToR
+	var core0 int32 = -1
+	for _, sw := range w.topo.Switches {
+		if sw.Role == topology.RoleCore {
+			core0 = sw.Idx
+			break
+		}
+	}
+	// Find a spine adjacent on the path srcToR -> core0.
+	spine := w.topo.NextHops(srcToR, core0)[0]
+	w.scheme.Cache(core0).Insert(netaddr.Mapping{VIP: vip, PIP: stale})
+	w.scheme.Cache(spine).Insert(netaddr.Mapping{VIP: vip, PIP: stale})
+
+	inv := packet.NewInvalidation(vip, stale,
+		w.topo.Switches[srcToR].PIP, w.topo.Switches[core0].PIP)
+	// Force the path through our chosen spine by injecting there.
+	w.e.InjectFromSwitch(spine, inv)
+	w.e.Run(simtime.Never)
+
+	if _, ok := w.scheme.Cache(core0).Peek(vip); ok {
+		t.Fatal("target core still holds the stale entry")
+	}
+	if w.scheme.S.EntriesInvalidated == 0 {
+		t.Fatal("no entries invalidated")
+	}
+	// The spine processed the packet only at injection (it emitted it), so
+	// plant again and send from the ToR to check en-route invalidation.
+	w.scheme.Cache(spine).Insert(netaddr.Mapping{VIP: vip, PIP: stale})
+	w.scheme.Cache(core0).Insert(netaddr.Mapping{VIP: vip, PIP: stale})
+	inv2 := packet.NewInvalidation(vip, stale,
+		w.topo.Switches[srcToR].PIP, w.topo.Switches[core0].PIP)
+	w.e.InjectFromSwitch(srcToR, inv2)
+	w.e.Run(simtime.Never)
+	if _, ok := w.scheme.Cache(core0).Peek(vip); ok {
+		t.Fatal("core not invalidated on second pass")
+	}
+	// Note: ECMP may route via any of the pod's spines; if it used ours,
+	// the entry is gone. We assert only that no switch serves the stale
+	// mapping to a subsequent packet:
+	var delivered netaddr.PIP
+	w.e.Handler = func(host int32, p *packet.Packet) { delivered = p.DstPIP }
+	w.send(1, 0, w.vips[0], vip, true)
+	want, _ := w.net.Lookup(vip)
+	if delivered != want {
+		t.Fatalf("packet delivered to %v, want %v (stale entry used)", delivered, want)
+	}
+}
+
+// TestNoLearningPacketForKnownMapping: gateway ToRs emit learning
+// packets only for NEW mappings (§3.2.2).
+func TestNoLearningPacketForKnownMapping(t *testing.T) {
+	opts := DefaultOptions(1024)
+	opts.PLearn = 1.0
+	w := newWorld(t, opts)
+	src, dst := w.vips[0], w.vips[9]
+	w.send(1, 0, src, dst, true)
+	sent := w.scheme.S.LearningSent
+	if sent == 0 {
+		t.Fatal("no learning packet for the new mapping")
+	}
+	// Re-sending to the same destination re-learns the same mapping: no
+	// further learning packets for it. (ACKs may learn the reverse
+	// mapping once; tolerate that by comparing against a second repeat.)
+	w.send(1, 1, src, dst, false)
+	after1 := w.scheme.S.LearningSent
+	w.send(1, 2, src, dst, false)
+	if w.scheme.S.LearningSent != after1 {
+		t.Fatalf("learning packets for an already-known mapping: %d -> %d",
+			after1, w.scheme.S.LearningSent)
+	}
+}
+
+// TestDoubleMigrationDelivery: two consecutive migrations of the same VM
+// still end with correct delivery and a clean cache.
+func TestDoubleMigrationDelivery(t *testing.T) {
+	opts := DefaultOptions(1024)
+	opts.PLearn = 1.0
+	w := newWorld(t, opts)
+	src, dst := w.vips[0], w.vips[9]
+	w.send(1, 0, src, dst, true) // warm
+
+	hostB := w.hostOf(w.vips[100])
+	hostC := w.hostOf(w.vips[200])
+	if err := w.net.Migrate(dst, hostB); err != nil {
+		t.Fatal(err)
+	}
+	var deliveredTo int32 = -1
+	w.e.Handler = func(h int32, p *packet.Packet) { deliveredTo = h }
+	w.send(1, 1, src, dst, false)
+	if deliveredTo != hostB {
+		t.Fatalf("after first migration delivered to %d, want %d", deliveredTo, hostB)
+	}
+	if err := w.net.Migrate(dst, hostC); err != nil {
+		t.Fatal(err)
+	}
+	w.send(1, 2, src, dst, false)
+	if deliveredTo != hostC {
+		t.Fatalf("after second migration delivered to %d, want %d", deliveredTo, hostC)
+	}
+	// Converged: one more packet, no misdelivery.
+	mis := w.e.C.Misdeliveries
+	w.send(1, 3, src, dst, false)
+	if w.e.C.Misdeliveries != mis {
+		t.Fatal("not converged after second migration")
+	}
+}
+
+// TestAcksAreResolvedInNetwork: ACK packets are tenant traffic too: they
+// carry inner headers, get looked up, and benefit from source learning.
+func TestAcksAreResolvedInNetwork(t *testing.T) {
+	opts := DefaultOptions(1024)
+	opts.LearningPackets = false
+	w := newWorld(t, opts)
+	src, dst := w.vips[0], w.vips[9]
+	// Data packet delivers; dst ToR source-learned src's mapping.
+	w.send(1, 0, src, dst, true)
+	gw := w.e.C.GatewayPackets
+	// An ACK from dst back to src resolves at dst's ToR (no gateway).
+	ack := packet.NewAck(1, 1, dst, src, 0)
+	w.e.HostSend(w.hostOf(dst), ack)
+	w.e.Run(simtime.Never)
+	if w.e.C.GatewayPackets != gw {
+		t.Fatalf("ACK detoured via gateway: %d -> %d", gw, w.e.C.GatewayPackets)
+	}
+	if w.e.C.Delivered != 2 {
+		t.Fatalf("delivered = %d, want 2", w.e.C.Delivered)
+	}
+}
+
+// TestZeroCacheEqualsNoCache: SwitchV2P with zero-size caches degenerates
+// to the pure gateway scheme.
+func TestZeroCacheEqualsNoCache(t *testing.T) {
+	opts := DefaultOptions(0)
+	w := newWorld(t, opts)
+	for i := 0; i < 10; i++ {
+		w.send(uint64(i+1), 0, w.vips[i], w.vips[50+i], true)
+	}
+	if w.e.C.GatewayPackets != w.e.C.HostSent {
+		t.Fatalf("zero-cache SwitchV2P skipped gateways: %d of %d",
+			w.e.C.GatewayPackets, w.e.C.HostSent)
+	}
+	if w.scheme.S.Hits != 0 {
+		t.Fatalf("hits = %d with zero caches", w.scheme.S.Hits)
+	}
+	if w.e.C.LearningPkts != 0 {
+		t.Fatalf("learning packets with zero caches: %d", w.e.C.LearningPkts)
+	}
+}
+
+// TestGatewaySpineConservativeAdmission: gateway spines never evict an
+// actively used entry for destination learning (Table 1).
+func TestGatewaySpineConservativeAdmission(t *testing.T) {
+	opts := DefaultOptions(8) // tiny: collisions guaranteed
+	opts.LearningPackets = false
+	opts.Spillover = false
+	w := newWorld(t, opts)
+	// Find a gateway spine and plant an active entry.
+	var gwSpine int32 = -1
+	for _, sw := range w.topo.Switches {
+		if sw.Role == topology.RoleGatewaySpine {
+			gwSpine = sw.Idx
+			break
+		}
+	}
+	cache := w.scheme.Cache(gwSpine)
+	// Fill every line with active entries that don't collide with real
+	// VIPs' values but occupy all lines.
+	planted := make([]netaddr.VIP, 0, 8)
+	for v := netaddr.VIP(0xff000001); len(planted) < 64; v++ {
+		cache.Insert(netaddr.Mapping{VIP: v, PIP: 0x0a00aaaa})
+		cache.Lookup(v) // set access bit
+		planted = append(planted, v)
+	}
+	used := cache.Used()
+	// Heavy traffic through the gateway pod: destination learning at the
+	// gateway spine must not displace any access-bit-set entry... but
+	// lookups for unresolved packets CLEAR access bits on miss, so some
+	// displacement is legitimate over time. We assert the conservative
+	// policy's immediate effect instead: a single resolved packet cannot
+	// displace a just-refreshed active entry.
+	for _, v := range planted {
+		cache.Lookup(v)
+	}
+	res := cache.InsertIfClear(netaddr.Mapping{VIP: w.vips[0], PIP: 0x0a00bbbb})
+	if res.Inserted && res.Evicted.IsValid() {
+		t.Fatal("conservative admission displaced an active entry")
+	}
+	if got := cache.Used(); got < used {
+		t.Fatalf("active entries lost: %d -> %d", used, got)
+	}
+}
+
+// TestLearningPacketConsumedBeforeHost: learning packets never reach
+// hosts; the destination ToR consumes them.
+func TestLearningPacketConsumedBeforeHost(t *testing.T) {
+	opts := DefaultOptions(1024)
+	opts.PLearn = 1.0
+	w := newWorld(t, opts)
+	w.send(1, 0, w.vips[0], w.vips[9], true)
+	if w.e.C.LearningPkts == 0 {
+		t.Fatal("no learning packets generated")
+	}
+	if w.e.C.StrayControlPkts != 0 {
+		t.Fatalf("%d learning packets leaked to hosts", w.e.C.StrayControlPkts)
+	}
+}
+
+// TestHitSwitchRecorded: the switch identifier of a cache hit rides the
+// packet to the destination (the invalidation targeting mechanism).
+func TestHitSwitchRecorded(t *testing.T) {
+	opts := DefaultOptions(1024)
+	opts.PLearn = 1.0
+	w := newWorld(t, opts)
+	src, dst := w.vips[0], w.vips[9]
+	w.send(1, 0, src, dst, true)
+	var hitSwitch int32 = packet.NoSwitch
+	w.e.Handler = func(h int32, p *packet.Packet) { hitSwitch = p.HitSwitch }
+	w.send(1, 1, src, dst, false)
+	srcToR := w.topo.Hosts[w.hostOf(src)].ToR
+	if hitSwitch != srcToR {
+		t.Fatalf("HitSwitch = %d, want sender ToR %d", hitSwitch, srcToR)
+	}
+}

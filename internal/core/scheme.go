@@ -1,0 +1,397 @@
+package core
+
+import (
+	"math/rand"
+
+	"switchv2p/internal/netaddr"
+	"switchv2p/internal/packet"
+	"switchv2p/internal/simnet"
+	"switchv2p/internal/simtime"
+	"switchv2p/internal/topology"
+	"switchv2p/internal/vnet"
+)
+
+// Options configures the SwitchV2P protocol. Every mechanism can be
+// toggled independently for the paper's ablations (Table 4 variants,
+// §5.3 topology-aware caching analysis).
+type Options struct {
+	// LinesPerSwitch is the per-switch cache size in entries. The paper
+	// reports cache size as aggregate memory over all switches; the
+	// harness divides it evenly.
+	LinesPerSwitch int
+
+	// SizeFor, when non-nil, overrides LinesPerSwitch per switch
+	// (heterogeneous allocations, e.g. a ToR-only cache).
+	SizeFor func(sw topology.Switch) int
+
+	// PLearn is the probability that a gateway ToR generates a learning
+	// packet upon learning a new mapping (§3.2.2; the evaluation uses
+	// 0.5% of gateway-switch traffic).
+	PLearn float64
+
+	// LearningPackets enables gateway-ToR learning packet generation.
+	LearningPackets bool
+	// Spillover enables appending evicted entries to processed packets.
+	Spillover bool
+	// Promotion enables spine-to-core promotion of popular entries.
+	Promotion bool
+	// Invalidation enables targeted invalidation packets from ToRs.
+	Invalidation bool
+	// TimestampVector enables the per-ToR invalidation rate limiter.
+	TimestampVector bool
+
+	// LRU switches the per-switch caches from the paper's direct-mapped
+	// design to an idealized fully-associative LRU cache (ablation).
+	LRU bool
+
+	// Tenancy, when non-nil, partitions every switch's cache among VPCs
+	// and gates which tenants are cached at all (§4).
+	Tenancy *Tenancy
+
+	// Seed drives the learning-packet coin flips.
+	Seed int64
+}
+
+// DefaultOptions returns the full SwitchV2P configuration used in the
+// evaluation: all mechanisms on, P_learn = 0.5%.
+func DefaultOptions(linesPerSwitch int) Options {
+	return Options{
+		LinesPerSwitch:  linesPerSwitch,
+		PLearn:          0.005,
+		LearningPackets: true,
+		Spillover:       true,
+		Promotion:       true,
+		Invalidation:    true,
+		TimestampVector: true,
+		Seed:            1,
+	}
+}
+
+// Layer indices for hit attribution (Table 5).
+const (
+	LayerToR = iota
+	LayerSpine
+	LayerCore
+	numLayers
+)
+
+// Stats aggregates protocol-level measurements.
+type Stats struct {
+	Lookups int64
+	Hits    int64
+
+	HitsByLayer      [numLayers]int64 // all cache hits, by switch layer
+	FirstHitsByLayer [numLayers]int64 // hits by flows' first data packets
+
+	LearningSent            int64 // learning packets generated
+	InvalidationsSent       int64 // invalidation packets generated
+	InvalidationsSuppressed int64 // suppressed by the timestamp vector
+	EntriesInvalidated      int64 // cache lines removed by tags/packets
+	MisdeliveryTagged       int64 // packets tagged by ToRs
+	SpillAttached           int64 // evicted entries attached to packets
+	SpillInserted           int64 // spilled entries re-inserted downstream
+	PromoteAttached         int64 // promotions attached by spines
+	PromoteInserted         int64 // promotions accepted by cores
+}
+
+func layerOf(r topology.SwitchRole) int {
+	switch {
+	case r.IsToR():
+		return LayerToR
+	case r.IsSpine():
+		return LayerSpine
+	default:
+		return LayerCore
+	}
+}
+
+// Scheme is the SwitchV2P data-plane protocol: one direct-mapped cache
+// per switch plus the per-role admission policies and special functions
+// of Table 1. It implements simnet.Scheme.
+type Scheme struct {
+	opts         Options
+	topo         *topology.Topology
+	roles        []topology.SwitchRole // current role per switch (dynamic, §4)
+	caches       []MappingCache
+	tenantCaches []map[vnet.TenantID]MappingCache // non-nil iff opts.Tenancy set
+	// tsVec is the invalidation timestamp vector, allocated lazily per
+	// ToR: tsVec[tor][target] is the last time tor sent an invalidation
+	// to target (§3.3).
+	tsVec map[int32][]simtime.Time
+	rng   *rand.Rand
+
+	S Stats
+}
+
+// New builds a SwitchV2P scheme over the topology.
+func New(topo *topology.Topology, opts Options) *Scheme {
+	s := &Scheme{
+		opts:  opts,
+		topo:  topo,
+		tsVec: make(map[int32][]simtime.Time),
+		rng:   rand.New(rand.NewSource(opts.Seed)),
+	}
+	s.roles = make([]topology.SwitchRole, len(topo.Switches))
+	for i, sw := range topo.Switches {
+		s.roles[i] = sw.Role
+	}
+	if opts.Tenancy != nil {
+		s.tenantCaches = buildTenantCaches(topo, opts)
+		return s
+	}
+	s.caches = make([]MappingCache, len(topo.Switches))
+	for i, sw := range topo.Switches {
+		lines := opts.LinesPerSwitch
+		if opts.SizeFor != nil {
+			lines = opts.SizeFor(sw)
+		}
+		if opts.LRU {
+			s.caches[i] = NewAssocCache(lines)
+		} else {
+			s.caches[i] = NewCache(lines)
+		}
+	}
+	return s
+}
+
+// Name implements simnet.Scheme.
+func (s *Scheme) Name() string { return "SwitchV2P" }
+
+// Cache exposes a switch's (single-tenant) cache for tests and
+// analysis; with tenancy enabled use TenantCache instead.
+func (s *Scheme) Cache(sw int32) MappingCache {
+	if s.caches == nil {
+		return zeroCache
+	}
+	return s.caches[sw]
+}
+
+// SenderResolve implements simnet.Scheme: SwitchV2P keeps the
+// gateway-driven sending path — hosts always address a translation
+// gateway; resolution happens opportunistically in the network.
+func (s *Scheme) SenderResolve(e *simnet.Engine, host int32, p *packet.Packet) bool {
+	if !p.Resolved {
+		p.DstPIP = e.GatewayFor(p.SrcPIP, p.FlowID)
+	}
+	return true
+}
+
+// HostMisdeliver implements simnet.Scheme: the hypervisor re-forwards a
+// packet it cannot deliver to a translation gateway (§3.3); the ToR will
+// tag it on the way.
+func (s *Scheme) HostMisdeliver(e *simnet.Engine, host int32, p *packet.Packet) {
+	p.Resolved = false
+	p.DstPIP = e.GatewayFor(p.SrcPIP, p.FlowID)
+	e.Resend(host, p)
+}
+
+// SwitchArrive implements simnet.Scheme: the full per-switch pipeline.
+func (s *Scheme) SwitchArrive(e *simnet.Engine, sw int32, from topology.NodeRef, p *packet.Packet) bool {
+	role := s.roles[sw]
+	cache := s.cacheFor(sw, p.VNI)
+
+	switch p.Kind {
+	case packet.Learning:
+		// Consumed (and learned, admission "All") by the ToR serving the
+		// addressed host; forwarded untouched by switches en route.
+		if host, ok := s.topo.HostByPIP(p.DstPIP); ok && s.topo.Hosts[host].ToR == sw {
+			cache.Insert(p.Carried)
+			return false
+		}
+		return true
+	case packet.Invalidation:
+		if cache.Invalidate(p.Carried.VIP, p.Carried.PIP) {
+			s.S.EntriesInvalidated++
+		}
+		if target, ok := s.topo.SwitchByPIP(p.DstPIP); ok && target == sw {
+			return false
+		}
+		return true
+	}
+
+	// --- tenant traffic (Data / Ack) ---
+
+	// (1) Misdelivery tagging (§3.3): a ToR that receives, on a host-facing
+	// port, a packet whose outer source is not the attached server is
+	// seeing hypervisor re-forwarding of a misdelivered packet.
+	if role.IsToR() && from.Kind == topology.KindHost {
+		fromHost := &s.topo.Hosts[from.Idx]
+		if !fromHost.Gateway && p.SrcPIP != fromHost.PIP && p.StalePIP != fromHost.PIP {
+			p.Misdelivered = true
+			p.StalePIP = fromHost.PIP
+			s.S.MisdeliveryTagged++
+			if s.opts.Invalidation && p.HitSwitch != packet.NoSwitch {
+				s.sendInvalidation(e, sw, p.HitSwitch, p.DstVIP, p.StalePIP, p.VNI)
+			}
+			p.HitSwitch = packet.NoSwitch
+		}
+	}
+
+	// (2) Tagged packets invalidate matching stale entries on every switch
+	// they traverse.
+	if p.Misdelivered {
+		if cache.Invalidate(p.DstVIP, p.StalePIP) {
+			s.S.EntriesInvalidated++
+		}
+	}
+
+	// (3) Lookup — only for unresolved packets (§3.1, §4: resolved packets
+	// are never looked up).
+	hitHere := false
+	hitWasAccessed := false
+	if !p.Resolved && cache.Len() > 0 {
+		s.S.Lookups++
+		if pip, hit, was := cache.Lookup(p.DstVIP); hit && pip != p.StalePIP {
+			p.DstPIP = pip
+			p.Resolved = true
+			p.HitSwitch = int32(sw)
+			hitHere, hitWasAccessed = true, was
+			s.S.Hits++
+			s.S.HitsByLayer[layerOf(role)]++
+			if p.FirstSent && p.Kind == packet.Data {
+				s.S.FirstHitsByLayer[layerOf(role)]++
+			}
+		}
+	}
+
+	// (4) Promotion consumption at cores (§3.2.2): cores learn only from
+	// promotions, conservatively.
+	if p.Promote.IsValid() && role == topology.RoleCore {
+		if res := cache.InsertIfClear(p.Promote); res.Inserted {
+			s.S.PromoteInserted++
+			s.spill(p, res.Evicted)
+		}
+		p.Promote = netaddr.Mapping{}
+	}
+
+	// (5) Spillover consumption: any switch may opportunistically adopt an
+	// entry evicted upstream, never displacing an active entry.
+	if p.Spill.IsValid() && s.opts.Spillover && cache.Len() > 0 {
+		if res := cache.InsertIfClear(p.Spill); res.Inserted {
+			s.S.SpillInserted++
+			p.Spill = res.Evicted // cascade (usually zero)
+		}
+	}
+
+	// (6) Learning, per role (Table 1).
+	switch role {
+	case topology.RoleGatewayToR:
+		if p.Resolved {
+			m := netaddr.Mapping{VIP: p.DstVIP, PIP: p.DstPIP}
+			res := cache.Insert(m)
+			s.spill(p, res.Evicted)
+			if res.New && s.opts.LearningPackets && s.rng.Float64() < s.opts.PLearn {
+				// Skip senders attached to this very switch: their ToR is
+				// the gateway ToR, which has just learned the mapping via
+				// destination learning — there is nowhere closer to move it.
+				srcHost, ok := s.topo.HostByPIP(p.SrcPIP)
+				if ok && s.topo.Hosts[srcHost].ToR != sw {
+					lp := packet.NewLearning(m, s.topo.Switches[sw].PIP, p.SrcPIP)
+					lp.VNI = p.VNI
+					s.S.LearningSent++
+					e.InjectFromSwitch(sw, lp)
+				}
+			}
+		}
+	case topology.RoleToR:
+		if m := (netaddr.Mapping{VIP: p.SrcVIP, PIP: p.SrcPIP}); m.IsValid() {
+			res := cache.Insert(m)
+			s.spill(p, res.Evicted)
+		}
+	case topology.RoleSpine, topology.RoleGatewaySpine:
+		if p.Resolved {
+			res := cache.InsertIfClear(netaddr.Mapping{VIP: p.DstVIP, PIP: p.DstPIP})
+			s.spill(p, res.Evicted)
+		}
+	case topology.RoleCore:
+		// Cores learn only from promotions, handled in (4).
+	}
+
+	// (7) Promotion generation (§3.2.2): a regular spine whose cache just
+	// resolved a gateway-bound packet from an entry that was already in
+	// active use promotes the entry to the core layer — but only when the
+	// packet actually leaves the pod.
+	if hitHere && hitWasAccessed && role == topology.RoleSpine && s.opts.Promotion && !p.Promote.IsValid() {
+		if dstHost, ok := s.topo.HostByPIP(p.DstPIP); ok &&
+			s.topo.Hosts[dstHost].Pod != s.topo.Switches[sw].Pod {
+			p.Promote = netaddr.Mapping{VIP: p.DstVIP, PIP: p.DstPIP}
+			s.S.PromoteAttached++
+		}
+	}
+
+	return true
+}
+
+// spill attaches an evicted entry to the packet being processed if the
+// spillover slot is free (§3.2.2 "Cache spillover").
+func (s *Scheme) spill(p *packet.Packet, evicted netaddr.Mapping) {
+	if s.opts.Spillover && evicted.IsValid() && !p.Spill.IsValid() {
+		p.Spill = evicted
+		s.S.SpillAttached++
+	}
+}
+
+// sendInvalidation emits a targeted invalidation packet from ToR tor to
+// the switch that served the stale hit, rate-limited by the timestamp
+// vector: at most one invalidation per target per base RTT (§3.3).
+func (s *Scheme) sendInvalidation(e *simnet.Engine, tor, target int32, vip netaddr.VIP, stale netaddr.PIP, vni uint32) {
+	if s.opts.TimestampVector {
+		vec := s.tsVec[tor]
+		if vec == nil {
+			vec = make([]simtime.Time, len(s.topo.Switches))
+			for i := range vec {
+				vec[i] = -1
+			}
+			s.tsVec[tor] = vec
+		}
+		now := e.Now()
+		if vec[target] >= 0 && now.Sub(vec[target]) < e.Cfg.BaseRTT {
+			s.S.InvalidationsSuppressed++
+			return
+		}
+		vec[target] = now
+	}
+	inv := packet.NewInvalidation(vip, stale,
+		s.topo.Switches[tor].PIP, s.topo.Switches[target].PIP)
+	inv.VNI = vni
+	s.S.InvalidationsSent++
+	e.InjectFromSwitch(tor, inv)
+}
+
+// TotalCacheHitShare returns the share of hits per layer (Table 5 rows);
+// all zeros when there were no hits.
+func (s *Stats) TotalCacheHitShare() [numLayers]float64 {
+	return share(s.HitsByLayer)
+}
+
+// FirstPacketHitShare returns the per-layer share of first-packet hits.
+func (s *Stats) FirstPacketHitShare() [numLayers]float64 {
+	return share(s.FirstHitsByLayer)
+}
+
+func share(counts [numLayers]int64) [numLayers]float64 {
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	var out [numLayers]float64
+	if total == 0 {
+		return out
+	}
+	for i, c := range counts {
+		out[i] = float64(c) / float64(total)
+	}
+	return out
+}
+
+// Role returns the switch's current protocol role (which may have been
+// changed at runtime by a gateway migration, §4).
+func (s *Scheme) Role(sw int32) topology.SwitchRole { return s.roles[sw] }
+
+// SetRole changes a switch's protocol role at runtime — the
+// control-plane operation the paper describes for gateway migration
+// (§4 "Gateway migration"): the former gateway ToR transitions to
+// standard ToR behavior and the new one takes over. Cache state is NOT
+// migrated; it is rebuilt at the destination by the normal learning
+// mechanisms.
+func (s *Scheme) SetRole(sw int32, role topology.SwitchRole) { s.roles[sw] = role }

@@ -1,0 +1,138 @@
+// Package eventq implements the discrete-event scheduler at the heart of
+// the simulator: a binary min-heap of timestamped events with stable FIFO
+// ordering among events scheduled for the same instant. Stability matters
+// for determinism: two packets enqueued for the same nanosecond must always
+// dequeue in the order they were scheduled.
+package eventq
+
+import "switchv2p/internal/simtime"
+
+// Event is a callback scheduled to run at a simulated instant.
+type Event func()
+
+type item struct {
+	at  simtime.Time
+	seq uint64 // tie-breaker: insertion order
+	fn  Event
+}
+
+// Queue is a min-heap of events ordered by (time, insertion order).
+// The zero value is an empty queue ready for use.
+type Queue struct {
+	heap []item
+	seq  uint64
+	now  simtime.Time
+}
+
+// Now returns the current simulated time: the timestamp of the most
+// recently dispatched event.
+func (q *Queue) Now() simtime.Time { return q.now }
+
+// Len returns the number of pending events.
+func (q *Queue) Len() int { return len(q.heap) }
+
+// At schedules fn to run at instant t. Scheduling in the past (before the
+// current instant) panics: it would violate causality and always indicates
+// a bug in the caller.
+func (q *Queue) At(t simtime.Time, fn Event) {
+	if t < q.now {
+		panic("eventq: scheduling event in the past")
+	}
+	q.seq++
+	q.heap = append(q.heap, item{at: t, seq: q.seq, fn: fn})
+	q.up(len(q.heap) - 1)
+}
+
+// After schedules fn to run d after the current instant.
+func (q *Queue) After(d simtime.Duration, fn Event) {
+	q.At(q.now.Add(d), fn)
+}
+
+// Step dispatches the earliest pending event, advancing the clock to its
+// timestamp. It reports whether an event was dispatched.
+func (q *Queue) Step() bool {
+	if len(q.heap) == 0 {
+		return false
+	}
+	it := q.heap[0]
+	n := len(q.heap) - 1
+	q.heap[0] = q.heap[n]
+	q.heap[n] = item{} // release the closure for GC
+	q.heap = q.heap[:n]
+	if n > 0 {
+		q.down(0)
+	}
+	q.now = it.at
+	it.fn()
+	return true
+}
+
+// Run dispatches events until the queue is empty or until the next event
+// would be later than horizon. It returns the number of events dispatched.
+// Use horizon = simtime.Never to drain the queue.
+func (q *Queue) Run(horizon simtime.Time) int {
+	n := 0
+	for len(q.heap) > 0 && q.heap[0].at <= horizon {
+		q.Step()
+		n++
+	}
+	return n
+}
+
+// PeekTime returns the timestamp of the earliest pending event and whether
+// one exists.
+func (q *Queue) PeekTime() (simtime.Time, bool) {
+	if len(q.heap) == 0 {
+		return 0, false
+	}
+	return q.heap[0].at, true
+}
+
+func (q *Queue) less(i, j int) bool {
+	a, b := &q.heap[i], &q.heap[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// The heap is 4-ary: simulation queues grow large (hundreds of
+// thousands of pending events), and the shallower tree roughly halves
+// the swap count of sift-down compared to a binary heap.
+const heapArity = 4
+
+func (q *Queue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / heapArity
+		if !q.less(i, parent) {
+			break
+		}
+		q.heap[i], q.heap[parent] = q.heap[parent], q.heap[i]
+		i = parent
+	}
+}
+
+func (q *Queue) down(i int) {
+	n := len(q.heap)
+	for {
+		first := heapArity*i + 1
+		if first >= n {
+			return
+		}
+		small := i
+		last := first + heapArity
+		if last > n {
+			last = n
+		}
+		for c := first; c < last; c++ {
+			if q.less(c, small) {
+				small = c
+			}
+		}
+		if small == i {
+			return
+		}
+		q.heap[i], q.heap[small] = q.heap[small], q.heap[i]
+		i = small
+	}
+}

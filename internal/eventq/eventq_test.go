@@ -1,0 +1,160 @@
+package eventq
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"switchv2p/internal/simtime"
+)
+
+func TestEmptyQueue(t *testing.T) {
+	var q Queue
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	if q.Step() {
+		t.Fatalf("Step on empty queue returned true")
+	}
+	if _, ok := q.PeekTime(); ok {
+		t.Fatalf("PeekTime on empty queue returned ok")
+	}
+	if q.Now() != 0 {
+		t.Fatalf("Now = %v, want 0", q.Now())
+	}
+}
+
+func TestDispatchOrder(t *testing.T) {
+	var q Queue
+	var got []int
+	q.At(30, func() { got = append(got, 3) })
+	q.At(10, func() { got = append(got, 1) })
+	q.At(20, func() { got = append(got, 2) })
+	q.Run(simtime.Never)
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("dispatch order = %v", got)
+	}
+	if q.Now() != 30 {
+		t.Fatalf("Now = %v, want 30", q.Now())
+	}
+}
+
+func TestFIFOAmongEqualTimestamps(t *testing.T) {
+	var q Queue
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		q.At(42, func() { got = append(got, i) })
+	}
+	q.Run(simtime.Never)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("equal-timestamp events dispatched out of order: got[%d]=%d", i, v)
+		}
+	}
+}
+
+func TestAfterUsesCurrentInstant(t *testing.T) {
+	var q Queue
+	var fired simtime.Time
+	q.At(100, func() {
+		q.After(50, func() { fired = q.Now() })
+	})
+	q.Run(simtime.Never)
+	if fired != 150 {
+		t.Fatalf("nested After fired at %v, want 150", fired)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	var q Queue
+	q.At(100, func() {})
+	q.Step()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic scheduling in the past")
+		}
+	}()
+	q.At(50, func() {})
+}
+
+func TestRunHorizon(t *testing.T) {
+	var q Queue
+	count := 0
+	for _, at := range []simtime.Time{10, 20, 30, 40} {
+		q.At(at, func() { count++ })
+	}
+	if n := q.Run(25); n != 2 || count != 2 {
+		t.Fatalf("Run(25) dispatched %d (count %d), want 2", n, count)
+	}
+	if at, ok := q.PeekTime(); !ok || at != 30 {
+		t.Fatalf("PeekTime = %v,%v, want 30,true", at, ok)
+	}
+	if n := q.Run(simtime.Never); n != 2 || count != 4 {
+		t.Fatalf("drain dispatched %d (count %d), want 2 more", n, count)
+	}
+}
+
+func TestEventsScheduledDuringDispatch(t *testing.T) {
+	var q Queue
+	depth := 0
+	var rec func()
+	rec = func() {
+		depth++
+		if depth < 10 {
+			q.After(1, rec)
+		}
+	}
+	q.At(0, rec)
+	q.Run(simtime.Never)
+	if depth != 10 {
+		t.Fatalf("depth = %d, want 10", depth)
+	}
+	if q.Now() != 9 {
+		t.Fatalf("Now = %v, want 9", q.Now())
+	}
+}
+
+func TestRandomizedOrderProperty(t *testing.T) {
+	// Property: events always fire in non-decreasing timestamp order, and
+	// the clock equals the last fired timestamp.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var q Queue
+		n := 200
+		times := make([]simtime.Time, n)
+		for i := range times {
+			times[i] = simtime.Time(rng.Intn(50))
+		}
+		var fired []simtime.Time
+		for _, at := range times {
+			at := at
+			q.At(at, func() { fired = append(fired, at) })
+		}
+		q.Run(simtime.Never)
+		if len(fired) != n {
+			return false
+		}
+		if !sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] }) {
+			return false
+		}
+		return q.Now() == fired[n-1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkQueue(b *testing.B) {
+	var q Queue
+	rng := rand.New(rand.NewSource(1))
+	fn := func() {}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q.At(q.Now().Add(simtime.Duration(rng.Intn(1000))), fn)
+		if q.Len() > 1024 {
+			q.Step()
+		}
+	}
+}

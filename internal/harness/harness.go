@@ -1,0 +1,361 @@
+// Package harness assembles full experiments: it builds a topology,
+// places VMs, generates a workload, constructs the scheme under test,
+// runs the simulation, and collects a Report with the metrics the
+// paper's tables and figures use. The sweep helpers regenerate each
+// figure's series.
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+
+	"switchv2p/internal/baselines"
+	"switchv2p/internal/core"
+	"switchv2p/internal/netaddr"
+	"switchv2p/internal/simnet"
+	"switchv2p/internal/simtime"
+	"switchv2p/internal/topology"
+	"switchv2p/internal/trace"
+	"switchv2p/internal/transport"
+	"switchv2p/internal/vnet"
+)
+
+// Scheme names accepted by Config.Scheme.
+const (
+	SchemeSwitchV2P     = "switchv2p"
+	SchemeNoCache       = "nocache"
+	SchemeLocalLearning = "locallearning"
+	SchemeGwCache       = "gwcache"
+	SchemeBluebird      = "bluebird"
+	SchemeOnDemand      = "ondemand"
+	SchemeDirect        = "direct"
+	SchemeController    = "controller"
+	SchemeHybrid        = "hybrid"
+)
+
+// AllSchemes lists every supported scheme name.
+var AllSchemes = []string{
+	SchemeSwitchV2P, SchemeNoCache, SchemeLocalLearning, SchemeGwCache,
+	SchemeBluebird, SchemeOnDemand, SchemeDirect, SchemeController,
+	SchemeHybrid,
+}
+
+// Config describes one simulation run.
+type Config struct {
+	Topo   topology.Config
+	VMs    int
+	Scheme string
+
+	// TraceName selects a generator from internal/trace; Workload, when
+	// non-nil, is used directly instead.
+	TraceName string
+	Workload  *trace.Workload
+
+	Load     float64          // offered load fraction (default 0.30)
+	Duration simtime.Duration // traced interval (default 1 ms)
+	MaxFlows int              // cap on generated flows (0 = uncapped)
+
+	// CacheFraction sizes the aggregate in-network cache relative to the
+	// VIP address-space size (the paper's x-axis: 0.01 .. 1500).
+	CacheFraction float64
+
+	// SwitchV2P toggles, applied on top of core.DefaultOptions (cache
+	// sizing is always computed from CacheFraction).
+	V2PLearningPackets *bool
+	V2PSpillover       *bool
+	V2PPromotion       *bool
+	V2PInvalidation    *bool
+	V2PTimestampVector *bool
+	V2PPLearn          *float64
+	// V2PSizeFor optionally overrides per-switch cache sizing
+	// (heterogeneous allocation ablation).
+	V2PSizeFor func(sw topology.Switch) int
+	// V2PAlloc selects a named heterogeneous allocation policy:
+	// "" (uniform), "tor-only", or "bandwidth" (fan-in proportional).
+	V2PAlloc string
+	// V2PLRU replaces the direct-mapped caches with idealized
+	// fully-associative LRU caches (ablation).
+	V2PLRU bool
+
+	// ControllerInterval is the Controller baseline's refresh period.
+	ControllerInterval simtime.Duration
+
+	// ActiveGateways restricts the gateway pool (Fig. 9); 0 = all.
+	ActiveGateways int
+
+	// Horizon stops the simulation at a fixed time (0 = run to drain).
+	Horizon simtime.Time
+
+	Seed int64
+}
+
+// withDefaults fills zero values.
+func (c Config) withDefaults() Config {
+	if c.Topo.Pods == 0 {
+		c.Topo = topology.FT8()
+	}
+	if c.VMs == 0 {
+		c.VMs = 1024
+	}
+	if c.Scheme == "" {
+		c.Scheme = SchemeSwitchV2P
+	}
+	if c.TraceName == "" && c.Workload == nil {
+		c.TraceName = "hadoop"
+	}
+	if c.Load == 0 {
+		c.Load = 0.30
+	}
+	if c.Duration == 0 {
+		c.Duration = simtime.Millisecond
+	}
+	if c.CacheFraction == 0 {
+		c.CacheFraction = 0.5
+	}
+	if c.ControllerInterval == 0 {
+		c.ControllerInterval = 150 * simtime.Microsecond
+	}
+	if c.Horizon == 0 {
+		c.Horizon = simtime.Never
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Report is the outcome of one run.
+type Report struct {
+	Scheme  string
+	Summary transport.Summary
+
+	// HitRate is the paper's definition: the fraction of sent packets
+	// that did not reach a translation gateway.
+	HitRate        float64
+	GatewayPackets int64
+	HostSent       int64
+
+	AvgStretch       float64
+	TotalSwitchBytes int64
+	PerPodBytes      []int64 // bytes processed by each pod's switches
+	PerSwitchBytes   []int64 // indexed by switch
+
+	Misdeliveries    int64
+	LastMisdelivered simtime.Time
+	Drops            int64
+	LearningPkts     int64
+	InvalidationPkts int64
+	AvgPacketLatency simtime.Duration
+
+	// CoreStats is present for SwitchV2P runs (Table 5 attribution).
+	CoreStats *core.Stats
+
+	// World exposes the built simulation for further inspection or
+	// additional phases (e.g. the migration experiment).
+	World *World
+}
+
+// World is the assembled simulation.
+type World struct {
+	Topo   *topology.Topology
+	Net    *vnet.Net
+	Engine *simnet.Engine
+	Agent  *transport.Agent
+	Scheme simnet.Scheme
+	VIPs   []netaddr.VIP
+	Cfg    Config
+}
+
+// totalCacheEntries converts the cache fraction into aggregate entries.
+func totalCacheEntries(fraction float64, vms int) int {
+	return int(fraction * float64(vms))
+}
+
+// BuildScheme constructs the named scheme sized for the topology.
+func BuildScheme(cfg Config, topo *topology.Topology) (simnet.Scheme, error) {
+	total := totalCacheEntries(cfg.CacheFraction, cfg.VMs)
+	nSwitches := len(topo.Switches)
+	perSwitch := total / nSwitches
+	// Budgets smaller than the switch count are spread one entry per
+	// switch over the first (total mod N) switches instead of vanishing
+	// to integer division.
+	spread := func(sw topology.Switch) int {
+		lines := perSwitch
+		if int(sw.Idx) < total%nSwitches {
+			lines++
+		}
+		return lines
+	}
+	switch cfg.Scheme {
+	case SchemeSwitchV2P:
+		opts := core.DefaultOptions(perSwitch)
+		opts.SizeFor = spread
+		opts.Seed = cfg.Seed
+		if cfg.V2PLearningPackets != nil {
+			opts.LearningPackets = *cfg.V2PLearningPackets
+		}
+		if cfg.V2PSpillover != nil {
+			opts.Spillover = *cfg.V2PSpillover
+		}
+		if cfg.V2PPromotion != nil {
+			opts.Promotion = *cfg.V2PPromotion
+		}
+		if cfg.V2PInvalidation != nil {
+			opts.Invalidation = *cfg.V2PInvalidation
+		}
+		if cfg.V2PTimestampVector != nil {
+			opts.TimestampVector = *cfg.V2PTimestampVector
+		}
+		if cfg.V2PPLearn != nil {
+			opts.PLearn = *cfg.V2PPLearn
+		}
+		if cfg.V2PSizeFor != nil {
+			opts.SizeFor = cfg.V2PSizeFor
+		}
+		switch cfg.V2PAlloc {
+		case "":
+		case "tor-only":
+			opts.SizeFor = core.AllocToROnly(topo, total)
+		case "bandwidth":
+			opts.SizeFor = core.AllocBandwidthProportional(topo, total)
+		default:
+			return nil, fmt.Errorf("harness: unknown V2P allocation policy %q", cfg.V2PAlloc)
+		}
+		opts.LRU = cfg.V2PLRU
+		return core.New(topo, opts), nil
+	case SchemeNoCache:
+		return baselines.NewNoCache(), nil
+	case SchemeLocalLearning:
+		return baselines.NewLocalLearning(topo, perSwitch), nil
+	case SchemeGwCache:
+		return baselines.NewGwCache(topo, total), nil
+	case SchemeBluebird:
+		nToRs := len(topo.ToRs())
+		return baselines.NewBluebird(topo, total/nToRs, baselines.DefaultBluebirdParams()), nil
+	case SchemeOnDemand:
+		return baselines.NewOnDemand(topo, 40*simtime.Microsecond), nil
+	case SchemeDirect:
+		return baselines.NewDirect(), nil
+	case SchemeController:
+		return baselines.NewController(topo, perSwitch, cfg.ControllerInterval), nil
+	case SchemeHybrid:
+		opts := core.DefaultOptions(perSwitch)
+		opts.SizeFor = spread
+		opts.Seed = cfg.Seed
+		// Hoverboard-style offload after 20 packets; millisecond-scale
+		// rule installation as in Zeta/Achelous.
+		return baselines.NewHybrid(topo, opts, 20, simtime.Millisecond), nil
+	default:
+		return nil, fmt.Errorf("harness: unknown scheme %q", cfg.Scheme)
+	}
+}
+
+// Build assembles a World without running it.
+func Build(cfg Config) (*World, error) {
+	cfg = cfg.withDefaults()
+	topo, err := topology.New(cfg.Topo)
+	if err != nil {
+		return nil, err
+	}
+	net := vnet.New(topo)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	vips := net.PlaceUniform(cfg.VMs, rng)
+
+	scheme, err := BuildScheme(cfg, topo)
+	if err != nil {
+		return nil, err
+	}
+	engCfg := simnet.DefaultConfig()
+	engCfg.ActiveGateways = cfg.ActiveGateways
+	engine := simnet.New(topo, net, scheme, engCfg)
+	agent := transport.New(engine, transport.DefaultConfig())
+
+	w := &World{
+		Topo: topo, Net: net, Engine: engine, Agent: agent,
+		Scheme: scheme, VIPs: vips, Cfg: cfg,
+	}
+
+	workload := cfg.Workload
+	if workload == nil {
+		gen := trace.Generators[cfg.TraceName]
+		if gen == nil {
+			return nil, fmt.Errorf("harness: unknown trace %q", cfg.TraceName)
+		}
+		workload, err = gen(trace.Config{
+			VIPs:        vips,
+			Servers:     len(topo.Servers()),
+			HostLinkBps: cfg.Topo.HostLinkBps,
+			Load:        cfg.Load,
+			Duration:    cfg.Duration,
+			MaxFlows:    cfg.MaxFlows,
+			Seed:        cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, f := range workload.Flows {
+		agent.AddFlow(f)
+	}
+	return w, nil
+}
+
+// Run builds and runs a full experiment.
+func Run(cfg Config) (*Report, error) {
+	w, err := Build(cfg)
+	if err != nil {
+		return nil, err
+	}
+	w.Engine.Run(w.Cfg.Horizon)
+	return w.Report(), nil
+}
+
+// Report assembles the metrics from the current simulation state.
+func (w *World) Report() *Report {
+	c := &w.Engine.C
+	r := &Report{
+		Scheme:           w.Scheme.Name(),
+		Summary:          w.Agent.Summarize(),
+		GatewayPackets:   c.GatewayPackets,
+		HostSent:         c.HostSent,
+		AvgStretch:       c.AvgStretch(),
+		TotalSwitchBytes: c.TotalSwitchBytes(),
+		PerSwitchBytes:   append([]int64(nil), c.SwitchBytes...),
+		Misdeliveries:    c.Misdeliveries,
+		LastMisdelivered: c.LastMisdelivered,
+		Drops:            c.Drops,
+		LearningPkts:     c.LearningPkts,
+		InvalidationPkts: c.InvalidationPkts,
+		AvgPacketLatency: c.AvgPacketLatency(),
+		World:            w,
+	}
+	if c.HostSent > 0 {
+		r.HitRate = 1 - float64(c.GatewayPackets)/float64(c.HostSent)
+	}
+	r.PerPodBytes = make([]int64, w.Topo.Cfg.Pods)
+	for _, sw := range w.Topo.Switches {
+		if sw.Pod >= 0 {
+			r.PerPodBytes[sw.Pod] += c.SwitchBytes[sw.Idx]
+		}
+	}
+	switch s := w.Scheme.(type) {
+	case *core.Scheme:
+		stats := s.S
+		r.CoreStats = &stats
+	case *baselines.Hybrid:
+		stats := s.Scheme.S
+		r.CoreStats = &stats
+	}
+	return r
+}
+
+// PodSwitchBytes returns pod-local per-switch byte counts in the paper's
+// Fig. 8 order (spines first, then ToRs, gateway ToR last).
+func (r *Report) PodSwitchBytes(pod int) []int64 {
+	topo := r.World.Topo
+	var out []int64
+	for _, idx := range topo.SwitchesInPod(pod) {
+		out = append(out, r.PerSwitchBytes[idx])
+	}
+	return out
+}

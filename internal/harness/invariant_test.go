@@ -1,0 +1,109 @@
+package harness
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"switchv2p/internal/simtime"
+	"switchv2p/internal/topology"
+	"switchv2p/internal/trace"
+	"switchv2p/internal/transport"
+)
+
+// TestSystemInvariantsUnderRandomScenarios is the repo's core
+// correctness property (README "Key invariant"): across random small
+// topologies, random workloads, random schemes, random cache sizes and
+// random mid-run VM migrations —
+//
+//  1. every TCP flow completes (caches are never needed for correctness),
+//  2. no control packets leak to hosts,
+//  3. the gateway never sees an unknown VIP,
+//  4. packet conservation holds at drain.
+func TestSystemInvariantsUnderRandomScenarios(t *testing.T) {
+	schemes := []string{
+		SchemeSwitchV2P, SchemeNoCache, SchemeLocalLearning, SchemeGwCache,
+		SchemeOnDemand, SchemeDirect, SchemeController, SchemeHybrid,
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+
+		topoCfg := topology.FT8()
+		topoCfg.Pods = 2 + rng.Intn(3)*2 // 2, 4 or 6
+		topoCfg.RacksPerPod = 2 + rng.Intn(2)
+		topoCfg.SpinesPerPod = 2
+		topoCfg.Cores = 4
+		topoCfg.ServersPerRack = 2
+		topoCfg.GatewayPods = []int{0}
+		topoCfg.GatewaysPerPod = 2 + rng.Intn(3)
+
+		cfg := Config{
+			Topo:          topoCfg,
+			VMs:           64 + rng.Intn(128),
+			Scheme:        schemes[rng.Intn(len(schemes))],
+			CacheFraction: []float64{0.05, 0.5, 2}[rng.Intn(3)],
+			Seed:          seed,
+			Workload:      &trace.Workload{Name: "custom"},
+		}
+		w, err := Build(cfg)
+		if err != nil {
+			t.Logf("seed %d: build: %v", seed, err)
+			return false
+		}
+		// Random TCP flows.
+		nFlows := 5 + rng.Intn(30)
+		for i := 0; i < nFlows; i++ {
+			src := w.VIPs[rng.Intn(len(w.VIPs))]
+			dst := w.VIPs[rng.Intn(len(w.VIPs))]
+			if src == dst {
+				continue
+			}
+			w.Agent.AddFlow(transport.FlowSpec{
+				ID: uint64(i + 1), Src: src, Dst: dst, Proto: transport.TCP,
+				Bytes: 1 + rng.Intn(100_000),
+				Start: simtime.Time(rng.Intn(200_000)),
+			})
+		}
+		// Random migrations mid-run.
+		servers := w.Topo.Servers()
+		for m := 0; m < 1+rng.Intn(3); m++ {
+			vip := w.VIPs[rng.Intn(len(w.VIPs))]
+			target := servers[rng.Intn(len(servers))]
+			at := simtime.Time(rng.Intn(300_000))
+			w.Engine.Q.At(at, func() {
+				if cur, _ := w.Net.HostOf(vip); cur != target {
+					_ = w.Net.Migrate(vip, target)
+				}
+			})
+		}
+		w.Engine.Run(simtime.Never)
+
+		s := w.Agent.Summarize()
+		c := &w.Engine.C
+		if s.Completed != s.Flows {
+			t.Logf("seed %d scheme %s: completed %d/%d (timedout %d, drops %d)",
+				seed, cfg.Scheme, s.Completed, s.Flows, s.TimedOut, c.Drops)
+			return false
+		}
+		if c.StrayControlPkts != 0 {
+			t.Logf("seed %d: %d stray control packets", seed, c.StrayControlPkts)
+			return false
+		}
+		if c.GatewayUnknownVIP != 0 {
+			t.Logf("seed %d: gateway unknown VIPs", seed)
+			return false
+		}
+		// Conservation: every host-sent tenant packet was delivered,
+		// dropped, or consumed legitimately. (Misdelivered packets are
+		// re-sends of the same packet, so they do not add to HostSent.)
+		if c.Delivered+c.Drops < c.HostSent {
+			t.Logf("seed %d: conservation violated: delivered %d + drops %d < sent %d",
+				seed, c.Delivered, c.Drops, c.HostSent)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,266 @@
+// Package ilp solves 0-1 integer linear programs of the packing form
+//
+//	maximize   c·x
+//	subject to Σ_i a_ki x_i ≤ b_k   for every constraint k (a_ki ≥ 0)
+//	           x_i ∈ {0, 1}
+//
+// via branch and bound with a greedy warm start, plus a standalone lazy
+// greedy solver for instances too large to solve exactly. The Controller
+// baseline (Appendix A of the paper) formulates its distributed
+// cache-allocation problem in this form: the paper used Z3; this package
+// is the stdlib-only substitute.
+package ilp
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Term is one coefficient of a constraint.
+type Term struct {
+	Var   int
+	Coeff float64
+}
+
+// Constraint is Σ Terms ≤ Bound with non-negative coefficients.
+type Constraint struct {
+	Terms []Term
+	Bound float64
+}
+
+// Problem is a packing 0-1 ILP.
+type Problem struct {
+	// Obj holds the objective coefficient of each variable (maximize).
+	Obj []float64
+	// Constraints are packing constraints with non-negative coefficients.
+	Constraints []Constraint
+}
+
+// Validate checks problem well-formedness.
+func (p *Problem) Validate() error {
+	n := len(p.Obj)
+	for k, c := range p.Constraints {
+		if c.Bound < 0 {
+			return fmt.Errorf("ilp: constraint %d has negative bound %v", k, c.Bound)
+		}
+		for _, t := range c.Terms {
+			if t.Var < 0 || t.Var >= n {
+				return fmt.Errorf("ilp: constraint %d references variable %d of %d", k, t.Var, n)
+			}
+			if t.Coeff < 0 {
+				return fmt.Errorf("ilp: constraint %d has negative coefficient %v", k, t.Coeff)
+			}
+		}
+	}
+	return nil
+}
+
+// Solution is the solver output.
+type Solution struct {
+	X     []bool
+	Value float64
+	// Optimal is true when branch and bound proved optimality; false when
+	// the node budget was exhausted (the best incumbent is returned).
+	Optimal bool
+	// Nodes is the number of search nodes explored.
+	Nodes int
+}
+
+// Options tunes Solve.
+type Options struct {
+	// MaxNodes bounds the search; 0 means DefaultMaxNodes.
+	MaxNodes int
+}
+
+// DefaultMaxNodes is the default branch-and-bound node budget.
+const DefaultMaxNodes = 2_000_000
+
+type solver struct {
+	p        *Problem
+	varsIn   [][]int // var -> constraint indices it appears in
+	coeff    [][]float64
+	order    []int // variables in decreasing objective order
+	slack    []float64
+	x        []bool
+	best     []bool
+	bestVal  float64
+	suffix   []float64 // suffix[i] = Σ positive obj of order[i:]
+	nodes    int
+	maxNodes int
+	aborted  bool
+}
+
+// Solve runs branch and bound. The incumbent starts from Greedy, so even
+// an exhausted node budget returns at least the greedy solution.
+func Solve(p *Problem, opts Options) (Solution, error) {
+	if err := p.Validate(); err != nil {
+		return Solution{}, err
+	}
+	n := len(p.Obj)
+	s := &solver{
+		p:        p,
+		varsIn:   make([][]int, n),
+		coeff:    make([][]float64, n),
+		x:        make([]bool, n),
+		maxNodes: opts.MaxNodes,
+	}
+	if s.maxNodes <= 0 {
+		s.maxNodes = DefaultMaxNodes
+	}
+	for k, c := range p.Constraints {
+		s.slack = append(s.slack, c.Bound)
+		for _, t := range c.Terms {
+			s.varsIn[t.Var] = append(s.varsIn[t.Var], k)
+			s.coeff[t.Var] = append(s.coeff[t.Var], t.Coeff)
+		}
+	}
+	s.order = make([]int, n)
+	for i := range s.order {
+		s.order[i] = i
+	}
+	sort.Slice(s.order, func(a, b int) bool { return p.Obj[s.order[a]] > p.Obj[s.order[b]] })
+	s.suffix = make([]float64, n+1)
+	for i := n - 1; i >= 0; i-- {
+		s.suffix[i] = s.suffix[i+1]
+		if v := p.Obj[s.order[i]]; v > 0 {
+			s.suffix[i] += v
+		}
+	}
+
+	// Warm start.
+	g := Greedy(p)
+	s.best = append([]bool(nil), g.X...)
+	s.bestVal = g.Value
+
+	s.branch(0, 0)
+
+	return Solution{
+		X:       s.best,
+		Value:   s.bestVal,
+		Optimal: !s.aborted,
+		Nodes:   s.nodes,
+	}, nil
+}
+
+// fits reports whether setting variable v keeps all its constraints
+// satisfied.
+func (s *solver) fits(v int) bool {
+	for i, k := range s.varsIn[v] {
+		if s.coeff[v][i] > s.slack[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *solver) apply(v int, sign float64) {
+	for i, k := range s.varsIn[v] {
+		s.slack[k] -= sign * s.coeff[v][i]
+	}
+}
+
+func (s *solver) branch(idx int, value float64) {
+	if s.aborted {
+		return
+	}
+	s.nodes++
+	if s.nodes > s.maxNodes {
+		s.aborted = true
+		return
+	}
+	if value > s.bestVal {
+		s.bestVal = value
+		copy(s.best, s.x)
+	}
+	if idx >= len(s.order) {
+		return
+	}
+	// Optimistic bound: take every remaining positive-objective variable.
+	if value+s.suffix[idx] <= s.bestVal {
+		return
+	}
+	v := s.order[idx]
+	// Branch 1: include v (if it fits and helps the bound ordering).
+	if s.p.Obj[v] > 0 && s.fits(v) {
+		s.apply(v, 1)
+		s.x[v] = true
+		s.branch(idx+1, value+s.p.Obj[v])
+		s.x[v] = false
+		s.apply(v, -1)
+	}
+	// Branch 0: exclude v.
+	s.branch(idx+1, value)
+}
+
+// Greedy builds a feasible solution by adding variables in decreasing
+// objective order whenever they fit. For packing problems this is the
+// classic maximum-coverage-style heuristic the Controller baseline uses
+// when the exact search is too large.
+func Greedy(p *Problem) Solution {
+	n := len(p.Obj)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return p.Obj[order[a]] > p.Obj[order[b]] })
+	slack := make([]float64, len(p.Constraints))
+	for k, c := range p.Constraints {
+		slack[k] = c.Bound
+	}
+	varsIn := make([][]Term, n)
+	for k, c := range p.Constraints {
+		for _, t := range c.Terms {
+			varsIn[t.Var] = append(varsIn[t.Var], Term{Var: k, Coeff: t.Coeff})
+		}
+	}
+	x := make([]bool, n)
+	value := 0.0
+	for _, v := range order {
+		if p.Obj[v] <= 0 {
+			break
+		}
+		ok := true
+		for _, t := range varsIn[v] {
+			if t.Coeff > slack[t.Var] {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		for _, t := range varsIn[v] {
+			slack[t.Var] -= t.Coeff
+		}
+		x[v] = true
+		value += p.Obj[v]
+	}
+	return Solution{X: x, Value: value, Optimal: false, Nodes: 0}
+}
+
+// Feasible reports whether assignment x satisfies every constraint.
+func (p *Problem) Feasible(x []bool) bool {
+	for _, c := range p.Constraints {
+		sum := 0.0
+		for _, t := range c.Terms {
+			if x[t.Var] {
+				sum += t.Coeff
+			}
+		}
+		if sum > c.Bound+1e-9 {
+			return false
+		}
+	}
+	return true
+}
+
+// Value computes the objective of assignment x.
+func (p *Problem) Value(x []bool) float64 {
+	v := 0.0
+	for i, xi := range x {
+		if xi {
+			v += p.Obj[i]
+		}
+	}
+	return v
+}

@@ -1,0 +1,239 @@
+package ilp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func knapsack(values, weights []float64, capacity float64) *Problem {
+	terms := make([]Term, len(weights))
+	for i, w := range weights {
+		terms[i] = Term{Var: i, Coeff: w}
+	}
+	return &Problem{
+		Obj:         values,
+		Constraints: []Constraint{{Terms: terms, Bound: capacity}},
+	}
+}
+
+func TestTrivialAllFit(t *testing.T) {
+	p := knapsack([]float64{1, 2, 3}, []float64{1, 1, 1}, 10)
+	s, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Optimal || s.Value != 6 {
+		t.Fatalf("got %+v, want value 6 optimal", s)
+	}
+}
+
+func TestKnapsackKnownOptimum(t *testing.T) {
+	// Classic: values 60,100,120 weights 10,20,30 cap 50 -> 220.
+	p := knapsack([]float64{60, 100, 120}, []float64{10, 20, 30}, 50)
+	s, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Value != 220 || !s.Optimal {
+		t.Fatalf("got %+v, want 220", s)
+	}
+	if s.X[0] || !s.X[1] || !s.X[2] {
+		t.Fatalf("wrong selection %v", s.X)
+	}
+	if !p.Feasible(s.X) {
+		t.Fatal("infeasible solution")
+	}
+}
+
+func TestGreedySuboptimalCase(t *testing.T) {
+	// Greedy (by objective) takes the big item and misses the optimum.
+	p := knapsack([]float64{10, 6, 6}, []float64{10, 5, 5}, 10)
+	g := Greedy(p)
+	if g.Value != 10 {
+		t.Fatalf("greedy value = %v, want 10", g.Value)
+	}
+	s, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Value != 12 || !s.Optimal {
+		t.Fatalf("exact value = %+v, want 12", s)
+	}
+}
+
+func TestMultipleConstraints(t *testing.T) {
+	// Two capacity-1 "switches"; three mappings each usable in one switch;
+	// var 2 conflicts with var 0 in constraint 0 and with var 1 in
+	// constraint 1.
+	p := &Problem{
+		Obj: []float64{5, 4, 8},
+		Constraints: []Constraint{
+			{Terms: []Term{{0, 1}, {2, 1}}, Bound: 1},
+			{Terms: []Term{{1, 1}, {2, 1}}, Bound: 1},
+		},
+	}
+	s, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Either {0,1} for 9 or {2} for 8 -> optimum 9.
+	if s.Value != 9 || !s.Optimal {
+		t.Fatalf("got %+v, want 9", s)
+	}
+}
+
+func TestNegativeObjectiveNeverSelected(t *testing.T) {
+	p := knapsack([]float64{-5, 3}, []float64{1, 1}, 10)
+	s, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.X[0] {
+		t.Fatal("selected a negative-value variable")
+	}
+	if s.Value != 3 {
+		t.Fatalf("value = %v", s.Value)
+	}
+}
+
+func TestZeroCapacity(t *testing.T) {
+	p := knapsack([]float64{5, 3}, []float64{1, 1}, 0)
+	s, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Value != 0 || s.X[0] || s.X[1] {
+		t.Fatalf("got %+v, want empty", s)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	p := &Problem{Obj: []float64{1}, Constraints: []Constraint{{Terms: []Term{{5, 1}}, Bound: 1}}}
+	if _, err := Solve(p, Options{}); err == nil {
+		t.Fatal("out-of-range variable accepted")
+	}
+	p = &Problem{Obj: []float64{1}, Constraints: []Constraint{{Terms: []Term{{0, -1}}, Bound: 1}}}
+	if _, err := Solve(p, Options{}); err == nil {
+		t.Fatal("negative coefficient accepted")
+	}
+	p = &Problem{Obj: []float64{1}, Constraints: []Constraint{{Bound: -1}}}
+	if _, err := Solve(p, Options{}); err == nil {
+		t.Fatal("negative bound accepted")
+	}
+}
+
+func TestNodeBudgetReturnsIncumbent(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 40
+	values := make([]float64, n)
+	weights := make([]float64, n)
+	for i := range values {
+		values[i] = float64(rng.Intn(100) + 1)
+		weights[i] = float64(rng.Intn(100) + 1)
+	}
+	p := knapsack(values, weights, 300)
+	s, err := Solve(p, Options{MaxNodes: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Optimal {
+		t.Fatal("claimed optimality with a 10-node budget")
+	}
+	g := Greedy(p)
+	if s.Value < g.Value {
+		t.Fatalf("budgeted solve %v worse than greedy warm start %v", s.Value, g.Value)
+	}
+	if !p.Feasible(s.X) {
+		t.Fatal("infeasible incumbent")
+	}
+}
+
+// bruteForce finds the true optimum for small n.
+func bruteForce(p *Problem) float64 {
+	n := len(p.Obj)
+	best := 0.0
+	x := make([]bool, n)
+	for mask := 0; mask < 1<<n; mask++ {
+		for i := 0; i < n; i++ {
+			x[i] = mask&(1<<i) != 0
+		}
+		if p.Feasible(x) {
+			if v := p.Value(x); v > best {
+				best = v
+			}
+		}
+	}
+	return best
+}
+
+func TestSolveMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(10)
+		p := &Problem{Obj: make([]float64, n)}
+		for i := range p.Obj {
+			p.Obj[i] = float64(rng.Intn(21) - 5) // some negatives
+		}
+		nc := 1 + rng.Intn(3)
+		for k := 0; k < nc; k++ {
+			c := Constraint{Bound: float64(rng.Intn(20))}
+			for i := 0; i < n; i++ {
+				if rng.Intn(2) == 0 {
+					c.Terms = append(c.Terms, Term{Var: i, Coeff: float64(rng.Intn(10))})
+				}
+			}
+			p.Constraints = append(p.Constraints, c)
+		}
+		s, err := Solve(p, Options{})
+		if err != nil {
+			return false
+		}
+		want := bruteForce(p)
+		return s.Optimal && s.Value == want && p.Feasible(s.X)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGreedyAlwaysFeasible(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(30)
+		p := &Problem{Obj: make([]float64, n)}
+		for i := range p.Obj {
+			p.Obj[i] = float64(rng.Intn(100))
+		}
+		for k := 0; k < 1+rng.Intn(4); k++ {
+			c := Constraint{Bound: float64(rng.Intn(50))}
+			for i := 0; i < n; i++ {
+				c.Terms = append(c.Terms, Term{Var: i, Coeff: float64(rng.Intn(20))})
+			}
+			p.Constraints = append(p.Constraints, c)
+		}
+		g := Greedy(p)
+		return p.Feasible(g.X) && g.Value == p.Value(g.X)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSolve30Vars(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	n := 30
+	values := make([]float64, n)
+	weights := make([]float64, n)
+	for i := range values {
+		values[i] = float64(rng.Intn(100) + 1)
+		weights[i] = float64(rng.Intn(100) + 1)
+	}
+	p := knapsack(values, weights, 500)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(p, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+// Package netaddr defines the address types used by the virtual network:
+// physical IPs (PIPs) identify hosts, gateways and switches in the
+// underlay, while virtual IPs (VIPs) are tenant-assigned identifiers with
+// no location information. Both are compact IPv4-like 32-bit values so
+// they can be used as map keys and cache keys without allocation.
+package netaddr
+
+import (
+	"fmt"
+)
+
+// PIP is a physical (underlay) IPv4 address.
+type PIP uint32
+
+// VIP is a virtual (overlay) IPv4 address. VIPs are mere identifiers: they
+// carry no information about where the VM is physically located.
+type VIP uint32
+
+// Zero values signal "no address".
+const (
+	NoPIP PIP = 0
+	NoVIP VIP = 0
+)
+
+// IsValid reports whether the address is non-zero.
+func (p PIP) IsValid() bool { return p != NoPIP }
+
+// IsValid reports whether the address is non-zero.
+func (v VIP) IsValid() bool { return v != NoVIP }
+
+func formatIPv4(a uint32) string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(a>>24), byte(a>>16), byte(a>>8), byte(a))
+}
+
+// String formats the PIP in dotted-quad notation.
+func (p PIP) String() string { return formatIPv4(uint32(p)) }
+
+// String formats the VIP in dotted-quad notation.
+func (v VIP) String() string { return formatIPv4(uint32(v)) }
+
+// Well-known allocation bases. The underlay uses 10.0.0.0/8 and the
+// overlay uses 172.16.0.0/12-style space; the exact values only matter for
+// readable logs.
+const (
+	pipBase = 10 << 24  // 10.0.0.0
+	vipBase = 172 << 24 // 172.0.0.0
+)
+
+// PIPAllocator hands out sequential physical addresses.
+// The zero value is ready to use.
+type PIPAllocator struct{ next uint32 }
+
+// Next returns a fresh, previously unissued PIP.
+func (a *PIPAllocator) Next() PIP {
+	a.next++
+	return PIP(pipBase + a.next)
+}
+
+// Issued returns how many addresses have been handed out.
+func (a *PIPAllocator) Issued() int { return int(a.next) }
+
+// VIPAllocator hands out sequential virtual addresses.
+// The zero value is ready to use.
+type VIPAllocator struct{ next uint32 }
+
+// Next returns a fresh, previously unissued VIP.
+func (a *VIPAllocator) Next() VIP {
+	a.next++
+	return VIP(vipBase + a.next)
+}
+
+// Issued returns how many addresses have been handed out.
+func (a *VIPAllocator) Issued() int { return int(a.next) }
+
+// Mapping is a single virtual-to-physical translation entry: the unit of
+// state that gateways store authoritatively and switches cache.
+type Mapping struct {
+	VIP VIP
+	PIP PIP
+}
+
+// IsValid reports whether both halves of the mapping are set.
+func (m Mapping) IsValid() bool { return m.VIP.IsValid() && m.PIP.IsValid() }
+
+// String formats the mapping as "vip->pip".
+func (m Mapping) String() string { return m.VIP.String() + "->" + m.PIP.String() }
+
+// HashVIP mixes a VIP into a well-distributed 32-bit hash. It is the hash
+// used for direct-mapped cache indexing; a multiplicative (Fibonacci)
+// hash is cheap enough for a switch data plane and distributes the
+// sequential VIPs our allocators produce.
+func HashVIP(v VIP) uint32 {
+	x := uint32(v)
+	x ^= x >> 16
+	x *= 0x7feb352d
+	x ^= x >> 15
+	x *= 0x846ca68b
+	x ^= x >> 16
+	return x
+}
+
+// FlowHash mixes the ECMP 5-tuple surrogate (outer source, outer
+// destination, flow identifier) into a hash used for multipath selection.
+// It deliberately depends on the outer destination so that a V2P rewrite
+// re-hashes the packet onto a path toward its new destination, exactly as
+// ECMP behaves in a real underlay.
+func FlowHash(src, dst PIP, flowID uint64) uint32 {
+	h := uint64(src)*0x9e3779b97f4a7c15 ^ uint64(dst)*0xc2b2ae3d27d4eb4f ^ flowID*0x165667b19e3779f9
+	h ^= h >> 29
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 32
+	return uint32(h)
+}

@@ -1,0 +1,124 @@
+package netaddr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocatorsSequentialAndUnique(t *testing.T) {
+	var pa PIPAllocator
+	var va VIPAllocator
+	seenP := make(map[PIP]bool)
+	seenV := make(map[VIP]bool)
+	for i := 0; i < 1000; i++ {
+		p := pa.Next()
+		v := va.Next()
+		if !p.IsValid() || !v.IsValid() {
+			t.Fatalf("allocator returned invalid address at %d", i)
+		}
+		if seenP[p] {
+			t.Fatalf("duplicate PIP %v", p)
+		}
+		if seenV[v] {
+			t.Fatalf("duplicate VIP %v", v)
+		}
+		seenP[p], seenV[v] = true, true
+	}
+	if pa.Issued() != 1000 || va.Issued() != 1000 {
+		t.Fatalf("Issued() = %d/%d, want 1000/1000", pa.Issued(), va.Issued())
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	var pa PIPAllocator
+	p := pa.Next()
+	if got := p.String(); got != "10.0.0.1" {
+		t.Fatalf("first PIP = %q, want 10.0.0.1", got)
+	}
+	var va VIPAllocator
+	v := va.Next()
+	if got := v.String(); got != "172.0.0.1" {
+		t.Fatalf("first VIP = %q, want 172.0.0.1", got)
+	}
+}
+
+func TestNoAddressInvalid(t *testing.T) {
+	if NoPIP.IsValid() || NoVIP.IsValid() {
+		t.Fatalf("zero addresses must be invalid")
+	}
+	var m Mapping
+	if m.IsValid() {
+		t.Fatalf("zero mapping must be invalid")
+	}
+	m = Mapping{VIP: 1, PIP: 2}
+	if !m.IsValid() {
+		t.Fatalf("non-zero mapping must be valid")
+	}
+}
+
+func TestMappingString(t *testing.T) {
+	m := Mapping{VIP: VIP(vipBase + 1), PIP: PIP(pipBase + 2)}
+	if got := m.String(); got != "172.0.0.1->10.0.0.2" {
+		t.Fatalf("Mapping.String() = %q", got)
+	}
+}
+
+func TestHashVIPDeterministic(t *testing.T) {
+	f := func(v uint32) bool {
+		return HashVIP(VIP(v)) == HashVIP(VIP(v))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashVIPDistribution(t *testing.T) {
+	// Sequential VIPs must spread across cache buckets: with 4096 VIPs and
+	// 256 buckets no bucket should be empty and none should hold more than
+	// 4x the mean, otherwise direct-mapped caches would behave badly.
+	const buckets = 256
+	var counts [buckets]int
+	var va VIPAllocator
+	for i := 0; i < 4096; i++ {
+		counts[HashVIP(va.Next())%buckets]++
+	}
+	for b, c := range counts {
+		if c == 0 {
+			t.Fatalf("bucket %d empty", b)
+		}
+		if c > 64 {
+			t.Fatalf("bucket %d overloaded: %d", b, c)
+		}
+	}
+}
+
+func TestFlowHashSensitivity(t *testing.T) {
+	// The hash must change when the outer destination changes (this is what
+	// re-routes a flow after a V2P rewrite under ECMP).
+	h1 := FlowHash(1, 100, 7)
+	h2 := FlowHash(1, 101, 7)
+	if h1 == h2 {
+		t.Fatalf("FlowHash insensitive to destination")
+	}
+	h3 := FlowHash(1, 100, 8)
+	if h1 == h3 {
+		t.Fatalf("FlowHash insensitive to flow id")
+	}
+	if h1 != FlowHash(1, 100, 7) {
+		t.Fatalf("FlowHash not deterministic")
+	}
+}
+
+func TestFlowHashBalance(t *testing.T) {
+	// Across many flows the low bits choose among 4 next hops: each next
+	// hop should receive a reasonable share.
+	var counts [4]int
+	for i := 0; i < 10000; i++ {
+		counts[FlowHash(PIP(10+i), PIP(20), uint64(i))%4]++
+	}
+	for i, c := range counts {
+		if c < 2000 || c > 3000 {
+			t.Fatalf("next hop %d got %d of 10000 flows, want ~2500", i, c)
+		}
+	}
+}

@@ -1,0 +1,228 @@
+// Package p4model is an analytic resource model of a Tofino-like
+// reconfigurable match-action pipeline, used to reproduce the paper's
+// Table 6 (per-stage resource utilization of the SwitchV2P P4
+// prototype). The paper measured its prototype with Intel P4 Studio;
+// that toolchain is proprietary, so this package computes the same
+// static accounting from a description of the switch program: match
+// tables consume crossbar bits and TCAM/SRAM blocks, register arrays
+// consume SRAM blocks and stateful (meter) ALUs, actions consume VLIW
+// slots, and conditionals consume gateway predicates (the substitution
+// is documented in DESIGN.md).
+package p4model
+
+import (
+	"fmt"
+)
+
+// StageResources is the per-stage capacity of the modeled pipeline,
+// using commonly cited Tofino-generation figures.
+type StageResources struct {
+	MatchCrossbarBits int // exact-match crossbar input bits
+	SRAMBlocks        int
+	SRAMBlockBytes    int
+	TCAMBlocks        int
+	HashBits          int
+	MeterALUs         int // stateful ALUs
+	VLIWSlots         int
+	Gateways          int // conditional-branch predicates
+}
+
+// TofinoStage returns the per-stage capacities of a Tofino-class MAU.
+func TofinoStage() StageResources {
+	return StageResources{
+		MatchCrossbarBits: 1280,
+		SRAMBlocks:        80,
+		SRAMBlockBytes:    16 << 10,
+		TCAMBlocks:        24,
+		HashBits:          416,
+		MeterALUs:         4,
+		VLIWSlots:         32,
+		Gateways:          16,
+	}
+}
+
+// Pipeline is a fixed-function pipeline: a number of identical stages.
+type Pipeline struct {
+	Stages int
+	Stage  StageResources
+}
+
+// Tofino returns a 12-stage Tofino-class pipeline.
+func Tofino() Pipeline {
+	return Pipeline{Stages: 12, Stage: TofinoStage()}
+}
+
+// Table describes one match-action table of the program.
+type Table struct {
+	Name      string
+	KeyBits   int
+	Entries   int
+	Ternary   bool // TCAM-backed if true, exact (SRAM) otherwise
+	ValueBits int
+}
+
+// RegisterArray describes one stateful register array.
+type RegisterArray struct {
+	Name      string
+	Entries   int
+	WidthBits int
+	// Hashed indicates the index is computed by the hash unit (consumes
+	// hash bits for key + index).
+	Hashed  bool
+	KeyBits int
+}
+
+// Design is a complete switch program description.
+type Design struct {
+	Name      string
+	Tables    []Table
+	Registers []RegisterArray
+	// Actions is the number of distinct VLIW actions.
+	Actions int
+	// Branches is the number of conditional predicates (if/else).
+	Branches int
+	// ExtraHashBits covers non-table hashing (e.g. ECMP selection).
+	ExtraHashBits int
+}
+
+// SwitchV2PDesign describes the SwitchV2P data-plane program (§3.4): a
+// direct-mapped cache of cacheEntries mappings implemented as three
+// register arrays (keys, values, access bits), the role/gateway/port
+// configuration tables, the invalidation timestamp vector, and the
+// option-processing logic.
+func SwitchV2PDesign(cacheEntries, switches int) Design {
+	return Design{
+		Name: "SwitchV2P",
+		Tables: []Table{
+			{Name: "role_config", KeyBits: 16, Entries: 16, ValueBits: 8},
+			{Name: "gateway_addrs", KeyBits: 32, Entries: 256, Ternary: true, ValueBits: 8},
+			{Name: "port_to_pip", KeyBits: 16, Entries: 256, ValueBits: 32},
+			{Name: "tunnel_options", KeyBits: 24, Entries: 64, ValueBits: 16},
+			{Name: "mirror_sessions", KeyBits: 16, Entries: 64, ValueBits: 32},
+			{Name: "switch_ids", KeyBits: 32, Entries: 1024, Ternary: true, ValueBits: 32},
+		},
+		Registers: []RegisterArray{
+			{Name: "cache_keys", Entries: cacheEntries, WidthBits: 32, Hashed: true, KeyBits: 32},
+			{Name: "cache_values", Entries: cacheEntries, WidthBits: 32, Hashed: true, KeyBits: 32},
+			{Name: "cache_access", Entries: cacheEntries, WidthBits: 1, Hashed: true, KeyBits: 32},
+			{Name: "spill_stage", Entries: 4096, WidthBits: 64},
+			{Name: "promo_stage", Entries: 4096, WidthBits: 64},
+			{Name: "ts_vector", Entries: switches, WidthBits: 32},
+			{Name: "stat_hits", Entries: 1024, WidthBits: 32},
+			{Name: "stat_lookups", Entries: 1024, WidthBits: 32},
+		},
+		Actions:       38,
+		Branches:      48,
+		ExtraHashBits: 64, // ECMP flow hash
+	}
+}
+
+func bitsFor(n int) int {
+	b := 0
+	for v := 1; v < n; v <<= 1 {
+		b++
+	}
+	return b
+}
+
+// Utilization is the Table 6 report: average per-stage utilization of
+// each resource class, in [0,1].
+type Utilization struct {
+	MatchCrossbar float64
+	MeterALU      float64
+	Gateway       float64
+	SRAM          float64
+	TCAM          float64
+	VLIW          float64
+	HashBits      float64
+}
+
+// Fits reports whether no resource class is over-subscribed.
+func (u Utilization) Fits() bool {
+	for _, v := range []float64{u.MatchCrossbar, u.MeterALU, u.Gateway, u.SRAM, u.TCAM, u.VLIW, u.HashBits} {
+		if v > 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the utilization as Table 6 rows.
+func (u Utilization) String() string {
+	return fmt.Sprintf(
+		"Match Crossbar %.1f%% | Meter ALU %.1f%% | Gateway %.1f%% | SRAM %.1f%% | TCAM %.1f%% | VLIW %.1f%% | Hash Bits %.1f%%",
+		100*u.MatchCrossbar, 100*u.MeterALU, 100*u.Gateway, 100*u.SRAM,
+		100*u.TCAM, 100*u.VLIW, 100*u.HashBits)
+}
+
+// Utilization computes the average per-stage utilization of the design
+// on the pipeline.
+func (pl Pipeline) Utilization(d Design) (Utilization, error) {
+	if pl.Stages <= 0 {
+		return Utilization{}, fmt.Errorf("p4model: pipeline has no stages")
+	}
+	var crossbar, sramBlocks, tcamBlocks, hashBits, alus, vliw, gateways int
+
+	for _, t := range d.Tables {
+		if t.Ternary {
+			// TCAM blocks: 44-bit × 512-entry slices.
+			wSlices := ceilDiv(t.KeyBits, 44)
+			dSlices := ceilDiv(t.Entries, 512)
+			tcamBlocks += wSlices * dSlices
+			// Ternary results still live in SRAM.
+			sramBlocks += ceilDiv(t.Entries*t.ValueBits/8, pl.Stage.SRAMBlockBytes)
+		} else {
+			// Exact-match keys are replicated across hash ways on the
+			// crossbar (4-way cuckoo placement).
+			crossbar += 4 * t.KeyBits
+			hashBits += t.KeyBits // exact match hashing
+			bytes := t.Entries * (t.KeyBits + t.ValueBits) / 8
+			sramBlocks += 1 + bytes/pl.Stage.SRAMBlockBytes
+		}
+	}
+	for _, r := range d.Registers {
+		bytes := ceilDiv(r.Entries*r.WidthBits, 8)
+		sramBlocks += 1 + bytes/pl.Stage.SRAMBlockBytes
+		alus++
+		if r.Hashed {
+			hashBits += bitsFor(r.Entries)
+			crossbar += 2 * r.KeyBits
+		}
+	}
+	hashBits += d.ExtraHashBits
+	vliw = d.Actions
+	gateways = d.Branches
+	// Branch predicates read their operands through the crossbar as well
+	// (~16 bits per condition on average).
+	crossbar += 16 * d.Branches
+
+	u := Utilization{
+		MatchCrossbar: ratio(crossbar, pl.Stage.MatchCrossbarBits*pl.Stages),
+		MeterALU:      ratio(alus, pl.Stage.MeterALUs*pl.Stages),
+		Gateway:       ratio(gateways, pl.Stage.Gateways*pl.Stages),
+		SRAM:          ratio(sramBlocks, pl.Stage.SRAMBlocks*pl.Stages),
+		TCAM:          ratio(tcamBlocks, pl.Stage.TCAMBlocks*pl.Stages),
+		VLIW:          ratio(vliw, pl.Stage.VLIWSlots*pl.Stages),
+		HashBits:      ratio(hashBits, pl.Stage.HashBits*pl.Stages),
+	}
+	if !u.Fits() {
+		return u, fmt.Errorf("p4model: design %q exceeds pipeline capacity: %v", d.Name, u)
+	}
+	return u, nil
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+func ratio(used, capacity int) float64 {
+	if capacity == 0 {
+		return 0
+	}
+	return float64(used) / float64(capacity)
+}
+
+// Table6 computes the paper's Table 6 configuration: the SwitchV2P
+// program with a cache of half the Bluebird-reported per-switch capacity
+// (50% of 192K entries) on a Tofino-class pipeline.
+func Table6() (Utilization, error) {
+	return Tofino().Utilization(SwitchV2PDesign(96_000, 1024))
+}

@@ -1,0 +1,118 @@
+package p4model
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTable6Shape(t *testing.T) {
+	u, err := Table6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !u.Fits() {
+		t.Fatalf("Table 6 design does not fit: %v", u)
+	}
+	// Paper's Table 6: Match Crossbar 7.2%, Meter ALU 17.5%, Gateway 25%,
+	// SRAM 3.9%, TCAM 1.7%, VLIW 10%, Hash Bits 4.7%. The model must land
+	// in the same ballpark (within a factor of ~2 on each row) and keep
+	// the ordering of the dominant consumers.
+	approx := func(name string, got, want float64) {
+		if got < want/2 || got > want*2 {
+			t.Errorf("%s utilization = %.3f, want ~%.3f", name, got, want)
+		}
+	}
+	approx("crossbar", u.MatchCrossbar, 0.072)
+	approx("meterALU", u.MeterALU, 0.175)
+	approx("gateway", u.Gateway, 0.25)
+	approx("sram", u.SRAM, 0.039)
+	approx("tcam", u.TCAM, 0.017)
+	approx("vliw", u.VLIW, 0.10)
+	approx("hash", u.HashBits, 0.047)
+	// Gateway predicates and meter ALUs are the top consumers, as in the
+	// paper.
+	if !(u.Gateway > u.MeterALU && u.MeterALU > u.VLIW) {
+		t.Errorf("consumer ordering broken: %v", u)
+	}
+}
+
+func TestSRAMAndHashScaleWithCacheSize(t *testing.T) {
+	// §5.3: "Hash Bits and SRAM utilization are the only components that
+	// increase ... as the cache size is expanded."
+	small, err := Tofino().Utilization(SwitchV2PDesign(10_000, 1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Tofino().Utilization(SwitchV2PDesign(190_000, 1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.SRAM <= small.SRAM {
+		t.Fatalf("SRAM did not grow: %v -> %v", small.SRAM, big.SRAM)
+	}
+	if big.HashBits < small.HashBits {
+		t.Fatalf("hash bits shrank: %v -> %v", small.HashBits, big.HashBits)
+	}
+	for name, pair := range map[string][2]float64{
+		"crossbar": {small.MatchCrossbar, big.MatchCrossbar},
+		"meterALU": {small.MeterALU, big.MeterALU},
+		"gateway":  {small.Gateway, big.Gateway},
+		"vliw":     {small.VLIW, big.VLIW},
+		"tcam":     {small.TCAM, big.TCAM},
+	} {
+		if math.Abs(pair[0]-pair[1]) > 1e-9 {
+			t.Fatalf("%s changed with cache size: %v -> %v", name, pair[0], pair[1])
+		}
+	}
+}
+
+func TestOversubscriptionDetected(t *testing.T) {
+	d := SwitchV2PDesign(50_000_000, 1024) // absurd cache
+	if _, err := Tofino().Utilization(d); err == nil {
+		t.Fatal("oversubscribed design accepted")
+	}
+}
+
+func TestEmptyPipelineRejected(t *testing.T) {
+	pl := Pipeline{}
+	if _, err := pl.Utilization(SwitchV2PDesign(1000, 80)); err == nil {
+		t.Fatal("zero-stage pipeline accepted")
+	}
+}
+
+func TestBitsFor(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 1024: 10, 96000: 17}
+	for n, want := range cases {
+		if got := bitsFor(n); got != want {
+			t.Errorf("bitsFor(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestUtilizationString(t *testing.T) {
+	u, err := Table6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := u.String()
+	if len(s) == 0 || s[0] != 'M' {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestTernaryTablesUseTCAM(t *testing.T) {
+	d := Design{
+		Name:   "ternary-only",
+		Tables: []Table{{Name: "t", KeyBits: 88, Entries: 1024, Ternary: true, ValueBits: 8}},
+	}
+	u, err := Tofino().Utilization(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.TCAM == 0 {
+		t.Fatal("ternary table consumed no TCAM")
+	}
+	if u.MatchCrossbar != 0 {
+		t.Fatal("ternary table consumed exact-match crossbar")
+	}
+}

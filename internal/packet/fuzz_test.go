@@ -1,0 +1,51 @@
+package packet
+
+import (
+	"testing"
+
+	"switchv2p/internal/netaddr"
+)
+
+// FuzzUnmarshal: arbitrary bytes must never panic the wire parser; a
+// successful parse must re-marshal without panicking.
+func FuzzUnmarshal(f *testing.F) {
+	// Seed corpus: valid packets of every kind, plus mutations.
+	seeds := []*Packet{
+		NewData(1, 0, 100, 10, 20, 30),
+		NewAck(2, 7, 11, 21, 31),
+		NewLearning(netaddr.Mapping{VIP: 1, PIP: 2}, 3, 4),
+		NewInvalidation(5, 6, 7, 8),
+	}
+	seeds[0].Spill = netaddr.Mapping{VIP: 9, PIP: 10}
+	seeds[0].Misdelivered = true
+	seeds[0].StalePIP = 11
+	for _, p := range seeds {
+		f.Add(p.Marshal())
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		// Whatever parsed must serialize.
+		_ = p.Marshal()
+		_ = p.String()
+		if p.Size() < 0 {
+			t.Fatalf("negative size from parsed packet: %+v", p)
+		}
+	})
+}
+
+// FuzzHashVIP: the cache index hash must be total and deterministic.
+func FuzzHashVIP(f *testing.F) {
+	f.Add(uint32(0))
+	f.Add(uint32(0xffffffff))
+	f.Fuzz(func(t *testing.T, v uint32) {
+		if netaddr.HashVIP(netaddr.VIP(v)) != netaddr.HashVIP(netaddr.VIP(v)) {
+			t.Fatal("non-deterministic hash")
+		}
+	})
+}

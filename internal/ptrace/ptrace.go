@@ -1,0 +1,232 @@
+// Package ptrace captures simulated packets at switch and host arrival
+// points into a compact binary trace — the simulator's equivalent of a
+// pcap capture. Records carry the simulated timestamp, the observation
+// point, and the packet's full wire encoding (internal/packet's
+// Marshal format), so traces are self-contained and replayable.
+//
+// Typical use:
+//
+//	tr := ptrace.New(engine, ptrace.Options{})
+//	engine.Run(simtime.Never)
+//	tr.WriteTo(file)
+package ptrace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"switchv2p/internal/packet"
+	"switchv2p/internal/simnet"
+	"switchv2p/internal/simtime"
+	"switchv2p/internal/topology"
+)
+
+// magic identifies trace files ("SV2PTRC1").
+var magic = [8]byte{'S', 'V', '2', 'P', 'T', 'R', 'C', '1'}
+
+// Record is one captured packet observation.
+type Record struct {
+	At     simtime.Time
+	Point  topology.NodeRef
+	Packet *packet.Packet
+}
+
+// Options filters what gets captured.
+type Options struct {
+	// FlowID restricts capture to one flow (0 = all flows).
+	FlowID uint64
+	// Kinds restricts capture to the listed packet kinds (nil = all).
+	Kinds []packet.Kind
+	// SwitchesOnly drops host observation points.
+	SwitchesOnly bool
+	// Limit stops capturing after N records (0 = unlimited).
+	Limit int
+}
+
+func (o Options) match(at topology.NodeRef, p *packet.Packet) bool {
+	if o.FlowID != 0 && p.FlowID != o.FlowID {
+		return false
+	}
+	if o.SwitchesOnly && at.Kind != topology.KindSwitch {
+		return false
+	}
+	if o.Kinds != nil {
+		ok := false
+		for _, k := range o.Kinds {
+			if p.Kind == k {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Tracer collects records from an engine's Tap.
+type Tracer struct {
+	opts    Options
+	e       *simnet.Engine
+	Records []Record
+	Dropped int // records skipped due to Limit
+}
+
+// New installs a tracer as the engine's Tap and returns it. Installing a
+// second tracer replaces the first.
+func New(e *simnet.Engine, opts Options) *Tracer {
+	t := &Tracer{opts: opts, e: e}
+	e.Tap = t.observe
+	return t
+}
+
+func (t *Tracer) observe(at topology.NodeRef, p *packet.Packet) {
+	if !t.opts.match(at, p) {
+		return
+	}
+	if t.opts.Limit > 0 && len(t.Records) >= t.opts.Limit {
+		t.Dropped++
+		return
+	}
+	// Snapshot the packet: it mutates as it continues through the
+	// network.
+	t.Records = append(t.Records, Record{At: t.e.Now(), Point: at, Packet: p.Clone()})
+}
+
+// Close detaches the tracer from the engine.
+func (t *Tracer) Close() {
+	if t.e != nil && t.e.Tap != nil {
+		t.e.Tap = nil
+	}
+}
+
+// PathOf returns the observation points (in order) of one packet UID —
+// the packet's actual route through the network.
+func (t *Tracer) PathOf(uid uint64) []topology.NodeRef {
+	var out []topology.NodeRef
+	for i := range t.Records {
+		if t.Records[i].Packet.UID == uid {
+			out = append(out, t.Records[i].Point)
+		}
+	}
+	return out
+}
+
+// WriteTo serializes the trace. Format: magic, record count (u64), then
+// per record: timestamp (i64), point kind (u8), point index (i32), wire
+// length (u32), wire bytes.
+func (t *Tracer) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	write := func(data any) error {
+		if err := binary.Write(bw, binary.BigEndian, data); err != nil {
+			return err
+		}
+		n += int64(binary.Size(data))
+		return nil
+	}
+	if err := write(magic); err != nil {
+		return n, err
+	}
+	if err := write(uint64(len(t.Records))); err != nil {
+		return n, err
+	}
+	for i := range t.Records {
+		r := &t.Records[i]
+		wire := r.Packet.Marshal()
+		if err := write(int64(r.At)); err != nil {
+			return n, err
+		}
+		if err := write(uint8(r.Point.Kind)); err != nil {
+			return n, err
+		}
+		if err := write(r.Point.Idx); err != nil {
+			return n, err
+		}
+		if err := write(uint32(len(wire))); err != nil {
+			return n, err
+		}
+		if _, err := bw.Write(wire); err != nil {
+			return n, err
+		}
+		n += int64(len(wire))
+	}
+	return n, bw.Flush()
+}
+
+// Read parses a trace produced by WriteTo.
+func Read(r io.Reader) ([]Record, error) {
+	br := bufio.NewReader(r)
+	var m [8]byte
+	if err := binary.Read(br, binary.BigEndian, &m); err != nil {
+		return nil, err
+	}
+	if m != magic {
+		return nil, errors.New("ptrace: bad magic")
+	}
+	var count uint64
+	if err := binary.Read(br, binary.BigEndian, &count); err != nil {
+		return nil, err
+	}
+	const maxRecords = 1 << 30
+	if count > maxRecords {
+		return nil, fmt.Errorf("ptrace: implausible record count %d", count)
+	}
+	out := make([]Record, 0, count)
+	for i := uint64(0); i < count; i++ {
+		var at int64
+		var kind uint8
+		var idx int32
+		var wireLen uint32
+		if err := binary.Read(br, binary.BigEndian, &at); err != nil {
+			return nil, err
+		}
+		if err := binary.Read(br, binary.BigEndian, &kind); err != nil {
+			return nil, err
+		}
+		if err := binary.Read(br, binary.BigEndian, &idx); err != nil {
+			return nil, err
+		}
+		if err := binary.Read(br, binary.BigEndian, &wireLen); err != nil {
+			return nil, err
+		}
+		if wireLen > packet.MTU {
+			return nil, fmt.Errorf("ptrace: record %d wire length %d exceeds MTU", i, wireLen)
+		}
+		wire := make([]byte, wireLen)
+		if _, err := io.ReadFull(br, wire); err != nil {
+			return nil, err
+		}
+		p, err := packet.Unmarshal(wire)
+		if err != nil {
+			return nil, fmt.Errorf("ptrace: record %d: %w", i, err)
+		}
+		out = append(out, Record{
+			At:     simtime.Time(at),
+			Point:  topology.NodeRef{Kind: topology.NodeKind(kind), Idx: idx},
+			Packet: p,
+		})
+	}
+	return out, nil
+}
+
+// Dump renders the trace in a tcpdump-like human-readable form, one
+// line per record.
+func (t *Tracer) Dump(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for i := range t.Records {
+		r := &t.Records[i]
+		point := "host"
+		if r.Point.Kind == topology.KindSwitch {
+			point = "sw"
+		}
+		if _, err := fmt.Fprintf(bw, "%-12s %s%-4d %s\n", r.At, point, r.Point.Idx, r.Packet); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

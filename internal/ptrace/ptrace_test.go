@@ -1,0 +1,279 @@
+package ptrace
+
+import (
+	"bytes"
+	"testing"
+
+	"switchv2p/internal/baselines"
+	"switchv2p/internal/netaddr"
+	"switchv2p/internal/packet"
+	"switchv2p/internal/simnet"
+	"switchv2p/internal/simtime"
+	"switchv2p/internal/topology"
+	"switchv2p/internal/vnet"
+)
+
+type world struct {
+	topo *topology.Topology
+	net  *vnet.Net
+	e    *simnet.Engine
+	vips []netaddr.VIP
+}
+
+func newWorld(t testing.TB) *world {
+	t.Helper()
+	topo, err := topology.New(topology.FT8())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := vnet.New(topo)
+	vips := n.PlaceRoundRobin(256)
+	e := simnet.New(topo, n, baselines.NewNoCache(), simnet.DefaultConfig())
+	return &world{topo: topo, net: n, e: e, vips: vips}
+}
+
+func (w *world) send(flow uint64, seq int, src, dst netaddr.VIP) {
+	h, _ := w.net.HostOf(src)
+	w.e.HostSend(h, packet.NewData(flow, seq, 500, src, dst, 0))
+}
+
+func TestCaptureAndPath(t *testing.T) {
+	w := newWorld(t)
+	tr := New(w.e, Options{})
+	w.send(1, 0, w.vips[0], w.vips[9])
+	w.e.Run(simtime.Never)
+
+	if len(tr.Records) == 0 {
+		t.Fatal("no records captured")
+	}
+	// Every record carries monotonically non-decreasing timestamps.
+	for i := 1; i < len(tr.Records); i++ {
+		if tr.Records[i].At < tr.Records[i-1].At {
+			t.Fatal("timestamps not monotonic")
+		}
+	}
+	// The packet's path: starts at the sender ToR, visits a gateway host,
+	// ends at the destination host.
+	uid := tr.Records[0].Packet.UID
+	path := tr.PathOf(uid)
+	if len(path) < 8 {
+		t.Fatalf("path too short: %d points", len(path))
+	}
+	first := path[0]
+	srcHost, _ := w.net.HostOf(w.vips[0])
+	if first.Kind != topology.KindSwitch || first.Idx != w.topo.Hosts[srcHost].ToR {
+		t.Fatalf("path starts at %+v, want sender ToR", first)
+	}
+	last := path[len(path)-1]
+	dstHost, _ := w.net.HostOf(w.vips[9])
+	if last.Kind != topology.KindHost || last.Idx != dstHost {
+		t.Fatalf("path ends at %+v, want destination host %d", last, dstHost)
+	}
+	sawGateway := false
+	for _, pt := range path {
+		if pt.Kind == topology.KindHost && w.topo.Hosts[pt.Idx].Gateway {
+			sawGateway = true
+		}
+	}
+	if !sawGateway {
+		t.Fatal("NoCache path skipped the gateway")
+	}
+}
+
+func TestSnapshotsAreImmutable(t *testing.T) {
+	w := newWorld(t)
+	tr := New(w.e, Options{})
+	w.send(1, 0, w.vips[0], w.vips[9])
+	w.e.Run(simtime.Never)
+	// Early observations must still be unresolved even though the live
+	// packet was later resolved by the gateway.
+	first := tr.Records[0]
+	if first.Packet.Resolved {
+		t.Fatal("first observation already resolved: snapshot aliased the live packet")
+	}
+	last := tr.Records[len(tr.Records)-1]
+	if !last.Packet.Resolved {
+		t.Fatal("final observation not resolved")
+	}
+}
+
+func TestFilters(t *testing.T) {
+	w := newWorld(t)
+	tr := New(w.e, Options{FlowID: 2, SwitchesOnly: true, Kinds: []packet.Kind{packet.Data}})
+	w.send(1, 0, w.vips[0], w.vips[9])
+	w.send(2, 0, w.vips[1], w.vips[10])
+	w.e.Run(simtime.Never)
+	if len(tr.Records) == 0 {
+		t.Fatal("no records")
+	}
+	for _, r := range tr.Records {
+		if r.Packet.FlowID != 2 {
+			t.Fatalf("captured flow %d, filter was 2", r.Packet.FlowID)
+		}
+		if r.Point.Kind != topology.KindSwitch {
+			t.Fatal("captured host point despite SwitchesOnly")
+		}
+		if r.Packet.Kind != packet.Data {
+			t.Fatalf("captured kind %v", r.Packet.Kind)
+		}
+	}
+}
+
+func TestLimit(t *testing.T) {
+	w := newWorld(t)
+	tr := New(w.e, Options{Limit: 3})
+	for i := 0; i < 5; i++ {
+		w.send(uint64(i+1), 0, w.vips[i], w.vips[20+i])
+	}
+	w.e.Run(simtime.Never)
+	if len(tr.Records) != 3 {
+		t.Fatalf("records = %d, want 3", len(tr.Records))
+	}
+	if tr.Dropped == 0 {
+		t.Fatal("dropped counter not incremented")
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	w := newWorld(t)
+	tr := New(w.e, Options{})
+	w.send(1, 0, w.vips[0], w.vips[9])
+	w.send(2, 3, w.vips[4], w.vips[30])
+	w.e.Run(simtime.Never)
+
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(tr.Records) {
+		t.Fatalf("read %d records, wrote %d", len(got), len(tr.Records))
+	}
+	for i := range got {
+		a, b := got[i], tr.Records[i]
+		if a.At != b.At || a.Point != b.Point {
+			t.Fatalf("record %d header mismatch: %+v vs %+v", i, a, b)
+		}
+		if a.Packet.FlowID != b.Packet.FlowID || a.Packet.Seq != b.Packet.Seq ||
+			a.Packet.SrcVIP != b.Packet.SrcVIP || a.Packet.DstPIP != b.Packet.DstPIP ||
+			a.Packet.Resolved != b.Packet.Resolved {
+			t.Fatalf("record %d packet mismatch:\n%+v\n%+v", i, a.Packet, b.Packet)
+		}
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("not a trace file at all"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	// Truncated valid header.
+	w := newWorld(t)
+	tr := New(w.e, Options{})
+	w.send(1, 0, w.vips[0], w.vips[9])
+	w.e.Run(simtime.Never)
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if _, err := Read(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated trace accepted")
+	}
+}
+
+func TestClose(t *testing.T) {
+	w := newWorld(t)
+	tr := New(w.e, Options{})
+	tr.Close()
+	w.send(1, 0, w.vips[0], w.vips[9])
+	w.e.Run(simtime.Never)
+	if len(tr.Records) != 0 {
+		t.Fatal("tracer captured after Close")
+	}
+}
+
+func TestDump(t *testing.T) {
+	w := newWorld(t)
+	tr := New(w.e, Options{})
+	w.send(1, 0, w.vips[0], w.vips[9])
+	w.e.Run(simtime.Never)
+	var buf bytes.Buffer
+	if err := tr.Dump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if len(out) == 0 {
+		t.Fatal("empty dump")
+	}
+	lines := 0
+	for _, c := range out {
+		if c == '\n' {
+			lines++
+		}
+	}
+	if lines != len(tr.Records) {
+		t.Fatalf("dump has %d lines for %d records", lines, len(tr.Records))
+	}
+	for _, want := range []string{"sw", "host", "flow=1"} {
+		if !bytes.Contains(buf.Bytes(), []byte(want)) {
+			t.Fatalf("dump missing %q:\n%s", want, out[:200])
+		}
+	}
+}
+
+// failWriter errors after n bytes, to exercise write error paths.
+type failWriter struct{ left int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.left <= 0 {
+		return 0, bytes.ErrTooLarge
+	}
+	n := len(p)
+	if n > f.left {
+		n = f.left
+	}
+	f.left -= n
+	if n < len(p) {
+		return n, bytes.ErrTooLarge
+	}
+	return n, nil
+}
+
+func TestWriteToFailingWriter(t *testing.T) {
+	w := newWorld(t)
+	tr := New(w.e, Options{})
+	w.send(1, 0, w.vips[0], w.vips[9])
+	w.e.Run(simtime.Never)
+	if _, err := tr.WriteTo(&failWriter{left: 16}); err == nil {
+		t.Fatal("failing writer accepted")
+	}
+	if err := tr.Dump(&failWriter{left: 4}); err == nil {
+		t.Fatal("failing dump writer accepted")
+	}
+}
+
+// FuzzRead: arbitrary bytes must never panic the trace parser.
+func FuzzRead(f *testing.F) {
+	w := newWorld(f) // testing.F implements testing.TB
+	tr := New(w.e, Options{})
+	w.send(1, 0, w.vips[0], w.vips[9])
+	w.e.Run(simtime.Never)
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err == nil {
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte("SV2PTRC1garbage"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		records, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for _, r := range records {
+			_ = r.Packet.Size()
+		}
+	})
+}

@@ -1,0 +1,369 @@
+// Package simnet is the discrete-event, packet-level network simulator
+// the evaluation runs on (the NS3 substitute). It moves packets between
+// hosts and switches over bandwidth- and delay-modeled links with
+// shared-buffer switch queues and ECMP multipath routing, applies the
+// translation-gateway processing model, and delegates every
+// translation-policy decision to a pluggable Scheme.
+package simnet
+
+import (
+	"fmt"
+
+	"switchv2p/internal/eventq"
+	"switchv2p/internal/netaddr"
+	"switchv2p/internal/packet"
+	"switchv2p/internal/simtime"
+	"switchv2p/internal/topology"
+	"switchv2p/internal/vnet"
+)
+
+// Config holds the engine parameters that are common to all schemes.
+// The defaults (see DefaultConfig) follow §5 "Network parameters".
+type Config struct {
+	// GatewayDelay is the translation gateway's per-packet processing
+	// latency (Sailfish-calibrated 40 µs).
+	GatewayDelay simtime.Duration
+	// MisdeliveryDelay is the hypervisor's processing overhead for
+	// re-forwarding a packet that can no longer be delivered locally.
+	MisdeliveryDelay simtime.Duration
+	// BaseRTT is the network's base round-trip time, used by SwitchV2P's
+	// invalidation timestamp vector.
+	BaseRTT simtime.Duration
+	// ActiveGateways restricts senders to the first N gateway instances
+	// (the Fig. 9 gateway-reduction sweep); 0 means all gateways.
+	ActiveGateways int
+}
+
+// DefaultConfig returns the paper's evaluation parameters.
+func DefaultConfig() Config {
+	return Config{
+		GatewayDelay:     40 * simtime.Microsecond,
+		MisdeliveryDelay: 10 * simtime.Microsecond,
+		BaseRTT:          12 * simtime.Microsecond,
+	}
+}
+
+// Counters aggregates the engine-level measurements every experiment
+// reads. Scheme-level counters (cache hits etc.) live in the schemes.
+type Counters struct {
+	SwitchPackets []int64 // per switch index
+	SwitchBytes   []int64 // per switch index
+
+	GatewayPackets int64 // packets processed by translation gateways
+	GatewayBytes   int64
+	HostSent       int64 // tenant packets emitted by hosts (excluding re-sends)
+
+	Delivered      int64 // tenant packets delivered to the right host
+	DeliveredBytes int64
+	DataDelivered  int64 // Data packets only (excludes ACKs)
+	DataHopsSum    int64 // sum of switch hops over delivered Data packets
+	LatencySumNs   int64 // sum of per-packet delivery latency over Data packets
+
+	Misdeliveries     int64        // packets that arrived at a host no longer running the VM
+	LastMisdelivered  simtime.Time // arrival time (at the correct host) of the last once-misdelivered packet
+	Drops             int64        // buffer overflows and unroutable packets
+	LearningPkts      int64        // learning packets injected
+	InvalidationPkts  int64        // invalidation packets injected
+	ConsumedControl   int64        // control packets consumed by switches
+	StrayControlPkts  int64        // control packets that reached a host (should not happen)
+	GatewayUnknownVIP int64        // gateway lookups that failed (should not happen)
+}
+
+// Engine wires a topology, a virtual network, and a scheme into a
+// runnable simulation.
+type Engine struct {
+	Q      *eventq.Queue
+	Topo   *topology.Topology
+	Net    *vnet.Net
+	Scheme Scheme
+	Cfg    Config
+	C      Counters
+
+	// Handler receives tenant packets delivered to their (correct)
+	// destination host. The transport layer registers itself here.
+	Handler func(host int32, p *packet.Packet)
+
+	// Tap, when non-nil, observes every packet arrival at a switch (kind
+	// KindSwitch) or host (KindHost) — a capture point for tracing tools.
+	Tap func(at topology.NodeRef, p *packet.Packet)
+
+	swLink   map[[2]int32]*link // fabric links keyed by (from,to) switch index
+	hostUp   []*link            // host -> its ToR
+	hostDown []*link            // ToR -> host, indexed by host
+	bufUsed  []int              // shared-buffer occupancy per switch
+
+	gateways []int32 // host indices senders may load-balance over
+	nextUID  uint64
+}
+
+// New builds an engine over the given topology and virtual network.
+func New(topo *topology.Topology, net *vnet.Net, scheme Scheme, cfg Config) *Engine {
+	e := &Engine{
+		Q:      &eventq.Queue{},
+		Topo:   topo,
+		Net:    net,
+		Scheme: scheme,
+		Cfg:    cfg,
+	}
+	e.C.SwitchPackets = make([]int64, len(topo.Switches))
+	e.C.SwitchBytes = make([]int64, len(topo.Switches))
+	e.bufUsed = make([]int, len(topo.Switches))
+	e.hostUp = make([]*link, len(topo.Hosts))
+	e.hostDown = make([]*link, len(topo.Hosts))
+	e.swLink = make(map[[2]int32]*link, 2*len(topo.Edges))
+
+	for _, edge := range topo.Edges {
+		e.addLink(edge.A, edge.B, edge.Class)
+		e.addLink(edge.B, edge.A, edge.Class)
+	}
+
+	all := topo.Gateways()
+	n := cfg.ActiveGateways
+	if n <= 0 || n > len(all) {
+		n = len(all)
+	}
+	e.gateways = all[:n]
+	return e
+}
+
+func (e *Engine) addLink(from, to topology.NodeRef, class topology.LinkClass) {
+	bps := e.Topo.Cfg.FabricLinkBps
+	if class == topology.HostLink {
+		bps = e.Topo.Cfg.HostLinkBps
+	}
+	l := &link{
+		e:          e,
+		bps:        bps,
+		delay:      e.Topo.Cfg.LinkDelay,
+		fromSwitch: -1,
+	}
+	if from.Kind == topology.KindSwitch {
+		l.fromSwitch = from.Idx
+	}
+	switch to.Kind {
+	case topology.KindSwitch:
+		sw, fromRef := to.Idx, from
+		l.deliver = func(p *packet.Packet) { e.switchArrive(sw, fromRef, p) }
+	case topology.KindHost:
+		host := to.Idx
+		l.deliver = func(p *packet.Packet) { e.hostArrive(host, p) }
+	}
+	if from.Kind == topology.KindHost {
+		e.hostUp[from.Idx] = l
+	} else if to.Kind == topology.KindHost {
+		e.hostDown[to.Idx] = l
+	} else {
+		e.swLink[[2]int32{from.Idx, to.Idx}] = l
+	}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() simtime.Time { return e.Q.Now() }
+
+// Run dispatches events until the queue drains or the horizon passes.
+func (e *Engine) Run(horizon simtime.Time) { e.Q.Run(horizon) }
+
+// Gateways returns the gateway host indices senders load-balance over
+// (restricted by Config.ActiveGateways).
+func (e *Engine) Gateways() []int32 { return e.gateways }
+
+// GatewayFor picks the translation gateway a sender uses for a flow:
+// per-flow load balancing across the active gateway instances.
+func (e *Engine) GatewayFor(src netaddr.PIP, flowID uint64) netaddr.PIP {
+	g := e.gateways[netaddr.FlowHash(src, 0, flowID)%uint32(len(e.gateways))]
+	return e.Topo.Hosts[g].PIP
+}
+
+// IsGatewayPIP reports whether the address belongs to any translation
+// gateway instance (not just the active subset): switches use this to
+// recognize gateway-bound traffic.
+func (e *Engine) IsGatewayPIP(p netaddr.PIP) bool {
+	h, ok := e.Topo.HostByPIP(p)
+	return ok && e.Topo.Hosts[h].Gateway
+}
+
+// HostSend emits a tenant packet from a host into the network. It stamps
+// the packet, asks the scheme to resolve the outer destination, and
+// enqueues the packet on the host's NIC.
+func (e *Engine) HostSend(host int32, p *packet.Packet) {
+	e.nextUID++
+	p.UID = e.nextUID
+	e.C.HostSent++
+	if p.SentAt == 0 {
+		p.SentAt = e.Now()
+	}
+	p.SrcPIP = e.Topo.Hosts[host].PIP
+	// Stamp the tenant's VNI into the tunnel header (multi-VPC support).
+	p.VNI = uint32(e.Net.TenantOf(p.SrcVIP))
+	if !e.Scheme.SenderResolve(e, host, p) {
+		return // the scheme holds the packet and will Resend it
+	}
+	e.hostUp[host].enqueue(p)
+}
+
+// Resend re-emits a packet from a host without re-stamping SentAt; used
+// by hypervisor misdelivery forwarding. The scheme is not consulted: the
+// caller has already set the outer header.
+func (e *Engine) Resend(host int32, p *packet.Packet) {
+	e.hostUp[host].enqueue(p)
+}
+
+// InjectFromSwitch emits a scheme-generated control packet from a switch.
+func (e *Engine) InjectFromSwitch(sw int32, p *packet.Packet) {
+	e.nextUID++
+	p.UID = e.nextUID
+	switch p.Kind {
+	case packet.Learning:
+		e.C.LearningPkts++
+	case packet.Invalidation:
+		e.C.InvalidationPkts++
+	}
+	e.forwardFromSwitch(sw, p)
+}
+
+// switchArrive processes a packet arriving at a switch: count it, hand it
+// to the scheme, then route it onward unless consumed.
+func (e *Engine) switchArrive(sw int32, from topology.NodeRef, p *packet.Packet) {
+	p.Hops++
+	e.C.SwitchPackets[sw]++
+	e.C.SwitchBytes[sw] += int64(p.Size())
+	if e.Tap != nil {
+		e.Tap(topology.SwitchRef(sw), p)
+	}
+	if !e.Scheme.SwitchArrive(e, sw, from, p) {
+		e.C.ConsumedControl++
+		return
+	}
+	e.forwardFromSwitch(sw, p)
+}
+
+// forwardFromSwitch routes a packet out of a switch toward its outer
+// destination: directly to an attached host, or via ECMP toward the
+// destination's ToR (or toward the destination switch itself for
+// switch-addressed control packets).
+func (e *Engine) forwardFromSwitch(sw int32, p *packet.Packet) {
+	if hostIdx, ok := e.Topo.HostByPIP(p.DstPIP); ok {
+		h := &e.Topo.Hosts[hostIdx]
+		if h.ToR == sw {
+			e.hostDown[hostIdx].enqueue(p)
+			return
+		}
+		e.ecmpForward(sw, h.ToR, p)
+		return
+	}
+	if dstSw, ok := e.Topo.SwitchByPIP(p.DstPIP); ok {
+		if dstSw == sw {
+			// Switch-addressed packet that the scheme did not consume.
+			e.C.Drops++
+			return
+		}
+		e.ecmpForward(sw, dstSw, p)
+		return
+	}
+	e.C.Drops++ // unroutable outer destination
+}
+
+// ecmpForward picks one of the equal-cost next hops toward dstSw by
+// hashing the flow identity, salted per switch to avoid hash polarization.
+func (e *Engine) ecmpForward(sw, dstSw int32, p *packet.Packet) {
+	hops := e.Topo.NextHops(sw, dstSw)
+	if len(hops) == 0 {
+		e.C.Drops++
+		return
+	}
+	next := hops[0]
+	if len(hops) > 1 {
+		h := netaddr.FlowHash(p.SrcPIP, p.DstPIP, p.FlowID^(uint64(sw)*0x9e3779b1))
+		next = hops[h%uint32(len(hops))]
+	}
+	e.swLink[[2]int32{sw, next}].enqueue(p)
+}
+
+// hostArrive processes a packet reaching a host NIC: gateway processing
+// for gateway hosts, local delivery or the misdelivery path for servers.
+func (e *Engine) hostArrive(host int32, p *packet.Packet) {
+	if e.Tap != nil {
+		e.Tap(topology.HostRef(host), p)
+	}
+	h := &e.Topo.Hosts[host]
+	if h.Gateway {
+		e.gatewayProcess(host, p)
+		return
+	}
+	switch p.Kind {
+	case packet.Data, packet.Ack:
+	default:
+		e.C.StrayControlPkts++
+		return
+	}
+	if !e.Net.HostHasVM(host, p.DstVIP) {
+		e.C.Misdeliveries++
+		p.WasMisdelivered = true
+		e.Q.After(e.Cfg.MisdeliveryDelay, func() { e.Scheme.HostMisdeliver(e, host, p) })
+		return
+	}
+	e.C.Delivered++
+	e.C.DeliveredBytes += int64(p.Size())
+	if p.Kind == packet.Data {
+		e.C.DataDelivered++
+		e.C.DataHopsSum += int64(p.Hops)
+		e.C.LatencySumNs += int64(e.Now().Sub(p.SentAt))
+	}
+	if p.WasMisdelivered {
+		e.C.LastMisdelivered = e.Now()
+	}
+	if e.Handler != nil {
+		e.Handler(host, p)
+	}
+}
+
+// gatewayProcess applies the translation-gateway model: a fixed
+// processing latency, an authoritative lookup, and re-emission of the
+// resolved packet through the gateway's NIC.
+func (e *Engine) gatewayProcess(host int32, p *packet.Packet) {
+	e.C.GatewayPackets++
+	e.C.GatewayBytes += int64(p.Size())
+	pip, ok := e.Net.Lookup(p.DstVIP)
+	if !ok {
+		e.C.GatewayUnknownVIP++
+		e.C.Drops++
+		return
+	}
+	e.Q.After(e.Cfg.GatewayDelay, func() {
+		p.DstPIP = pip
+		p.Resolved = true
+		e.hostUp[host].enqueue(p)
+	})
+}
+
+// AvgPacketLatency returns the mean delivery latency over Data packets.
+func (c *Counters) AvgPacketLatency() simtime.Duration {
+	if c.DataDelivered == 0 {
+		return 0
+	}
+	return simtime.Duration(c.LatencySumNs / c.DataDelivered)
+}
+
+// AvgStretch returns the mean number of switches traversed by delivered
+// Data packets (the paper's "packet stretch").
+func (c *Counters) AvgStretch() float64 {
+	if c.DataDelivered == 0 {
+		return 0
+	}
+	return float64(c.DataHopsSum) / float64(c.DataDelivered)
+}
+
+// TotalSwitchBytes sums the bytes processed by every switch.
+func (c *Counters) TotalSwitchBytes() int64 {
+	var n int64
+	for _, b := range c.SwitchBytes {
+		n += b
+	}
+	return n
+}
+
+// String summarizes the headline counters.
+func (c *Counters) String() string {
+	return fmt.Sprintf("delivered=%d gatewayPkts=%d misdeliveries=%d drops=%d",
+		c.Delivered, c.GatewayPackets, c.Misdeliveries, c.Drops)
+}

@@ -1,0 +1,72 @@
+package simnet
+
+import (
+	"switchv2p/internal/packet"
+	"switchv2p/internal/simtime"
+)
+
+// link is one direction of a physical link: a FIFO egress queue, a
+// serializer running at the link rate, and a propagation delay to the far
+// end. Links egressing a switch draw from that switch's shared buffer;
+// links egressing a host are paced by the transport layer and therefore
+// unbounded.
+type link struct {
+	e       *Engine
+	bps     int64
+	delay   simtime.Duration
+	deliver func(p *packet.Packet)
+
+	fromSwitch int32 // owning switch for shared-buffer accounting, -1 for host egress
+
+	queued int // bytes queued or in serialization
+
+	queue []*packet.Packet
+	head  int
+	busy  bool
+}
+
+// enqueue appends p to the egress queue, dropping it if the owning
+// switch's shared buffer is exhausted, and kicks the serializer if idle.
+func (l *link) enqueue(p *packet.Packet) {
+	size := p.Size()
+	if l.fromSwitch >= 0 {
+		if l.e.bufUsed[l.fromSwitch]+size > l.e.Topo.Cfg.BufferBytes {
+			l.e.C.Drops++
+			return
+		}
+		l.e.bufUsed[l.fromSwitch] += size
+	}
+	l.queued += size
+	l.queue = append(l.queue, p)
+	if !l.busy {
+		l.busy = true
+		l.startNext()
+	}
+}
+
+// startNext begins serializing the packet at the head of the queue.
+func (l *link) startNext() {
+	p := l.queue[l.head]
+	l.queue[l.head] = nil
+	l.head++
+	if l.head == len(l.queue) {
+		l.queue = l.queue[:0]
+		l.head = 0
+	}
+	size := p.Size()
+	tx := simtime.TransmitTime(size, l.bps)
+	l.e.Q.After(tx, func() {
+		l.queued -= size
+		if l.fromSwitch >= 0 {
+			l.e.bufUsed[l.fromSwitch] -= size
+		}
+		// Store-and-forward: the far end receives the packet one
+		// propagation delay after the last bit leaves.
+		l.e.Q.After(l.delay, func() { l.deliver(p) })
+		if l.head < len(l.queue) {
+			l.startNext()
+		} else {
+			l.busy = false
+		}
+	})
+}

@@ -1,0 +1,45 @@
+package simnet
+
+import (
+	"switchv2p/internal/packet"
+	"switchv2p/internal/topology"
+)
+
+// Scheme is the pluggable V2P translation mechanism under evaluation.
+// The engine owns packet movement (links, queues, ECMP routing, gateway
+// processing, local delivery); the scheme owns every translation-related
+// decision: what the sender writes into the outer header, what each
+// switch does with a passing packet, and how a host reacts to a
+// misdelivered packet.
+//
+// SwitchV2P (internal/core) and all the paper's baselines
+// (internal/baselines) implement this interface.
+type Scheme interface {
+	// Name identifies the scheme in reports.
+	Name() string
+
+	// SenderResolve runs on the sending host just before a packet enters
+	// the network. It must set p.DstPIP — either the destination's true
+	// physical address (p.Resolved = true, host-driven designs) or a
+	// translation gateway (p.Resolved = false, gateway-driven designs).
+	// Leaving p.DstPIP unset routes the packet to the sender's ToR, which
+	// must then consume or resolve it (Bluebird-style designs).
+	// Returning false holds the packet: the scheme has taken ownership
+	// and must re-emit it later via e.Resend (e.g. OnDemand's
+	// miss-penalty stall while the mapping is fetched).
+	SenderResolve(e *Engine, host int32, p *packet.Packet) bool
+
+	// SwitchArrive runs when switch sw receives p from neighbor `from`
+	// (a host or switch NodeRef). The scheme may look up and rewrite the
+	// outer destination, learn mappings, attach or strip option TLVs, and
+	// inject new packets via e.InjectFromSwitch. Returning false consumes
+	// the packet (it is not forwarded further).
+	SwitchArrive(e *Engine, sw int32, from topology.NodeRef, p *packet.Packet) bool
+
+	// HostMisdeliver runs on a host that received a packet whose
+	// destination VM is not local (after the hypervisor's processing
+	// penalty). The scheme must re-forward the packet — typically to a
+	// gateway (gateway-driven) or straight to the VM's new host via a
+	// follow-me rule (host-driven).
+	HostMisdeliver(e *Engine, host int32, p *packet.Packet)
+}

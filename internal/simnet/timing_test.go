@@ -1,0 +1,175 @@
+package simnet
+
+import (
+	"testing"
+
+	"switchv2p/internal/packet"
+	"switchv2p/internal/simtime"
+	"switchv2p/internal/topology"
+	"switchv2p/internal/vnet"
+)
+
+// TestExactPathLatency verifies the store-and-forward timing model
+// against a hand computation for a direct (resolved) same-rack delivery:
+//
+//	host -> ToR -> host: 2 links, each tx(size) serialization + 1 µs
+//	propagation; both links are 100 Gbps host links.
+func TestExactPathLatency(t *testing.T) {
+	topo, err := topology.New(topology.FT8())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := vnet.New(topo)
+	vips := n.PlaceRoundRobin(256)
+	e := New(topo, n, gwScheme{}, DefaultConfig())
+
+	// vips[0] on server 0, vips[1] on server 1: same rack (servers 0-3).
+	src, dst := vips[0], vips[1]
+	srcHost, _ := n.HostOf(src)
+	dstHost, _ := n.HostOf(dst)
+	if topo.Hosts[srcHost].ToR != topo.Hosts[dstHost].ToR {
+		t.Fatal("precondition: VMs not in the same rack")
+	}
+	p := packet.NewData(1, 0, 1000, src, dst, 0)
+	pip, _ := n.Lookup(dst)
+	p.DstPIP = pip
+	p.Resolved = true
+
+	var deliveredAt simtime.Time
+	e.Handler = func(host int32, q *packet.Packet) { deliveredAt = e.Now() }
+	e.HostSend(srcHost, p)
+	e.Run(simtime.Never)
+
+	size := packet.NewData(1, 0, 1000, src, dst, 0).Size()
+	tx := simtime.TransmitTime(size, topo.Cfg.HostLinkBps)
+	want := simtime.Time(0).Add(2*tx + 2*topo.Cfg.LinkDelay)
+	if deliveredAt != want {
+		t.Fatalf("delivered at %v, want exactly %v (2 links of tx %v + 1µs)", deliveredAt, want, tx)
+	}
+}
+
+// TestGatewayLatencyExact verifies the 40 µs gateway pipeline appears
+// exactly once in an unresolved delivery.
+func TestGatewayLatencyExact(t *testing.T) {
+	topo, err := topology.New(topology.FT8())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := vnet.New(topo)
+	vips := n.PlaceRoundRobin(256)
+	e := New(topo, n, gwScheme{}, DefaultConfig())
+	src, dst := vips[0], vips[1]
+	srcHost, _ := n.HostOf(src)
+
+	var deliveredAt simtime.Time
+	e.Handler = func(host int32, q *packet.Packet) { deliveredAt = e.Now() }
+	e.HostSend(srcHost, packet.NewData(1, 0, 1000, src, dst, 0))
+	e.Run(simtime.Never)
+
+	// Reconstruct: hops = links traversed = switch hops + 2 (host
+	// endpoints)... derive the link count from the recorded switch hops:
+	// the packet visited C.DataHopsSum switches and 2 hosts (gateway +
+	// destination), so links = switches + hosts = hops + 2... each link
+	// contributes tx+delay; host links at 100G, fabric at 400G.
+	// Rather than reconstructing every leg, assert the invariant:
+	// latency - 40µs ≥ (hops+2) µs of propagation and < +10µs slack.
+	hops := e.C.DataHopsSum
+	lat := simtime.Duration(deliveredAt)
+	prop := simtime.Duration(hops+2) * simtime.Microsecond
+	min := 40*simtime.Microsecond + prop
+	if lat < min || lat > min+10*simtime.Microsecond {
+		t.Fatalf("latency %v outside [%v, %v+10µs] for %d switch hops", lat, min, min, hops)
+	}
+}
+
+// TestECMPPathStability: the same flow takes the same path every time
+// (no per-packet spraying), so same-flow packets cannot be reordered by
+// multipathing alone.
+func TestECMPPathStability(t *testing.T) {
+	topo, err := topology.New(topology.FT8())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := vnet.New(topo)
+	vips := n.PlaceRoundRobin(256)
+	e := New(topo, n, gwScheme{}, DefaultConfig())
+	src, dst := vips[0], vips[200] // cross-pod
+	srcHost, _ := n.HostOf(src)
+	pip, _ := n.Lookup(dst)
+
+	paths := make(map[int]map[int32]bool) // seq -> switches visited
+	e.Tap = func(at topology.NodeRef, p *packet.Packet) {
+		if at.Kind != topology.KindSwitch {
+			return
+		}
+		if paths[p.Seq] == nil {
+			paths[p.Seq] = make(map[int32]bool)
+		}
+		paths[p.Seq][at.Idx] = true
+	}
+	for seq := 0; seq < 10; seq++ {
+		p := packet.NewData(42, seq, 500, src, dst, 0)
+		p.DstPIP = pip
+		p.Resolved = true
+		e.HostSend(srcHost, p)
+	}
+	e.Run(simtime.Never)
+	first := paths[0]
+	for seq := 1; seq < 10; seq++ {
+		if len(paths[seq]) != len(first) {
+			t.Fatalf("seq %d path length differs", seq)
+		}
+		for sw := range paths[seq] {
+			if !first[sw] {
+				t.Fatalf("seq %d took a different path (switch %d)", seq, sw)
+			}
+		}
+	}
+}
+
+// TestDifferentFlowsMayDiverge: distinct flows between the same pair can
+// use different spines (that is what ECMP load balancing is for).
+func TestDifferentFlowsMayDiverge(t *testing.T) {
+	topo, err := topology.New(topology.FT8())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := vnet.New(topo)
+	vips := n.PlaceRoundRobin(256)
+	e := New(topo, n, gwScheme{}, DefaultConfig())
+	src, dst := vips[0], vips[200]
+	srcHost, _ := n.HostOf(src)
+	pip, _ := n.Lookup(dst)
+
+	pathsByFlow := make(map[uint64]map[int32]bool)
+	e.Tap = func(at topology.NodeRef, p *packet.Packet) {
+		if at.Kind != topology.KindSwitch {
+			return
+		}
+		if pathsByFlow[p.FlowID] == nil {
+			pathsByFlow[p.FlowID] = make(map[int32]bool)
+		}
+		pathsByFlow[p.FlowID][at.Idx] = true
+	}
+	for flow := uint64(1); flow <= 32; flow++ {
+		p := packet.NewData(flow, 0, 500, src, dst, 0)
+		p.DstPIP = pip
+		p.Resolved = true
+		e.HostSend(srcHost, p)
+	}
+	e.Run(simtime.Never)
+	// Union of visited switches across flows exceeds any single path.
+	union := make(map[int32]bool)
+	minLen := 1 << 30
+	for _, set := range pathsByFlow {
+		for sw := range set {
+			union[sw] = true
+		}
+		if len(set) < minLen {
+			minLen = len(set)
+		}
+	}
+	if len(union) <= minLen {
+		t.Fatalf("all 32 flows shared one path (%d switches)", minLen)
+	}
+}

@@ -1,0 +1,197 @@
+// Package stats provides the measurement primitives the evaluation
+// uses: an exact-percentile sample collector for latency-style metrics
+// and a log-bucketed streaming histogram for unbounded populations.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sample collects observations and answers mean/percentile queries
+// exactly (it keeps all values; suitable for up to millions of points).
+// The zero value is ready to use.
+type Sample struct {
+	values []float64
+	sorted bool
+}
+
+// Add records one observation.
+func (s *Sample) Add(v float64) {
+	s.values = append(s.values, v)
+	s.sorted = false
+}
+
+// N returns the number of observations.
+func (s *Sample) N() int { return len(s.values) }
+
+// Mean returns the arithmetic mean (0 when empty).
+func (s *Sample) Mean() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s.values {
+		sum += v
+	}
+	return sum / float64(len(s.values))
+}
+
+// Sum returns the total.
+func (s *Sample) Sum() float64 {
+	sum := 0.0
+	for _, v := range s.values {
+		sum += v
+	}
+	return sum
+}
+
+func (s *Sample) sort() {
+	if !s.sorted {
+		sort.Float64s(s.values)
+		s.sorted = true
+	}
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) using the
+// nearest-rank method; 0 when empty.
+func (s *Sample) Quantile(q float64) float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	s.sort()
+	idx := int(math.Ceil(q*float64(len(s.values)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return s.values[idx]
+}
+
+// Min and Max return the extremes (0 when empty).
+func (s *Sample) Min() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	s.sort()
+	return s.values[0]
+}
+
+// Max returns the largest observation (0 when empty).
+func (s *Sample) Max() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	s.sort()
+	return s.values[len(s.values)-1]
+}
+
+// Stddev returns the population standard deviation (0 when empty).
+func (s *Sample) Stddev() float64 {
+	n := len(s.values)
+	if n == 0 {
+		return 0
+	}
+	mean := s.Mean()
+	acc := 0.0
+	for _, v := range s.values {
+		d := v - mean
+		acc += d * d
+	}
+	return math.Sqrt(acc / float64(n))
+}
+
+// String summarizes the sample.
+func (s *Sample) String() string {
+	return fmt.Sprintf("n=%d mean=%.2f p50=%.2f p99=%.2f max=%.2f",
+		s.N(), s.Mean(), s.Quantile(0.5), s.Quantile(0.99), s.Max())
+}
+
+// Histogram is a log-bucketed streaming histogram: constant memory,
+// bounded relative error per bucket. Buckets are powers of `growth`
+// starting at `first`.
+type Histogram struct {
+	first   float64
+	growth  float64
+	counts  []uint64
+	under   uint64 // observations below first
+	total   uint64
+	sum     float64
+	maxSeen float64
+}
+
+// NewHistogram creates a histogram with buckets [first, first*growth,
+// ...]. growth must be > 1.
+func NewHistogram(first, growth float64, buckets int) (*Histogram, error) {
+	if first <= 0 || growth <= 1 || buckets <= 0 {
+		return nil, fmt.Errorf("stats: invalid histogram shape (first=%v growth=%v buckets=%d)",
+			first, growth, buckets)
+	}
+	return &Histogram{first: first, growth: growth, counts: make([]uint64, buckets)}, nil
+}
+
+// Add records one observation.
+func (h *Histogram) Add(v float64) {
+	h.total++
+	h.sum += v
+	if v > h.maxSeen {
+		h.maxSeen = v
+	}
+	if v < h.first {
+		h.under++
+		return
+	}
+	idx := int(math.Log(v/h.first) / math.Log(h.growth))
+	if idx >= len(h.counts) {
+		idx = len(h.counts) - 1
+	}
+	h.counts[idx]++
+}
+
+// N returns the number of observations.
+func (h *Histogram) N() uint64 { return h.total }
+
+// Mean returns the exact mean of all observations.
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / float64(h.total)
+}
+
+// Max returns the largest observation seen (exact).
+func (h *Histogram) Max() float64 { return h.maxSeen }
+
+// Quantile returns an upper-bound estimate of the q-quantile: the upper
+// edge of the bucket containing it.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(h.total)))
+	if rank <= h.under {
+		return h.first
+	}
+	acc := h.under
+	edge := h.first
+	for _, c := range h.counts {
+		edge *= h.growth
+		acc += c
+		if acc >= rank {
+			return edge
+		}
+	}
+	return h.maxSeen
+}

@@ -1,0 +1,163 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSampleEmpty(t *testing.T) {
+	var s Sample
+	if s.N() != 0 || s.Mean() != 0 || s.Quantile(0.5) != 0 || s.Min() != 0 || s.Max() != 0 || s.Stddev() != 0 {
+		t.Fatalf("empty sample not all-zero: %v", s.String())
+	}
+}
+
+func TestSampleBasics(t *testing.T) {
+	var s Sample
+	for _, v := range []float64{5, 1, 3, 2, 4} {
+		s.Add(v)
+	}
+	if s.N() != 5 || s.Mean() != 3 || s.Sum() != 15 {
+		t.Fatalf("n=%d mean=%v sum=%v", s.N(), s.Mean(), s.Sum())
+	}
+	if s.Min() != 1 || s.Max() != 5 {
+		t.Fatalf("min/max = %v/%v", s.Min(), s.Max())
+	}
+	if got := s.Quantile(0.5); got != 3 {
+		t.Fatalf("median = %v", got)
+	}
+	if got := s.Quantile(0); got != 1 {
+		t.Fatalf("q0 = %v", got)
+	}
+	if got := s.Quantile(1); got != 5 {
+		t.Fatalf("q1 = %v", got)
+	}
+	want := math.Sqrt(2) // population stddev of 1..5
+	if math.Abs(s.Stddev()-want) > 1e-9 {
+		t.Fatalf("stddev = %v, want %v", s.Stddev(), want)
+	}
+}
+
+func TestSampleQuantileClamps(t *testing.T) {
+	var s Sample
+	s.Add(7)
+	if s.Quantile(-1) != 7 || s.Quantile(2) != 7 {
+		t.Fatal("quantile clamping broken")
+	}
+}
+
+func TestSampleAddAfterQuery(t *testing.T) {
+	var s Sample
+	s.Add(10)
+	_ = s.Quantile(0.5)
+	s.Add(1) // must re-sort lazily
+	if s.Min() != 1 {
+		t.Fatalf("Min after post-query Add = %v", s.Min())
+	}
+}
+
+func TestSampleQuantileOrderingProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var s Sample
+		for i := 0; i < 200; i++ {
+			s.Add(rng.Float64() * 1000)
+		}
+		last := s.Quantile(0)
+		for q := 0.1; q <= 1.0; q += 0.1 {
+			v := s.Quantile(q)
+			if v < last {
+				return false
+			}
+			last = v
+		}
+		return s.Min() <= s.Mean() && s.Mean() <= s.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramValidation(t *testing.T) {
+	for _, bad := range [][3]float64{{0, 2, 10}, {1, 1, 10}, {1, 2, 0}} {
+		if _, err := NewHistogram(bad[0], bad[1], int(bad[2])); err == nil {
+			t.Fatalf("accepted invalid shape %v", bad)
+		}
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h, err := NewHistogram(1, 2, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{0.5, 1.5, 3, 6, 12, 100} {
+		h.Add(v)
+	}
+	if h.N() != 6 {
+		t.Fatalf("N = %d", h.N())
+	}
+	if h.Max() != 100 {
+		t.Fatalf("Max = %v", h.Max())
+	}
+	wantMean := (0.5 + 1.5 + 3 + 6 + 12 + 100) / 6
+	if math.Abs(h.Mean()-wantMean) > 1e-9 {
+		t.Fatalf("Mean = %v, want %v", h.Mean(), wantMean)
+	}
+}
+
+func TestHistogramQuantileBounds(t *testing.T) {
+	// Property: the histogram quantile is an upper bound within one
+	// bucket's growth factor of the exact quantile.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h, err := NewHistogram(1, 1.5, 64)
+		if err != nil {
+			return false
+		}
+		var s Sample
+		for i := 0; i < 500; i++ {
+			v := math.Exp(rng.Float64() * 10) // 1 .. e^10
+			h.Add(v)
+			s.Add(v)
+		}
+		for _, q := range []float64{0.5, 0.9, 0.99} {
+			exact := s.Quantile(q)
+			est := h.Quantile(q)
+			if est < exact/1.5001 || est > exact*1.5001 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h, err := NewHistogram(1, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 || h.N() != 0 {
+		t.Fatal("empty histogram not zero")
+	}
+}
+
+func TestHistogramUnderflowOverflow(t *testing.T) {
+	h, err := NewHistogram(10, 2, 3) // buckets: [10,20) [20,40) [40,80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Add(1)    // underflow
+	h.Add(1000) // overflow -> clamped to last bucket
+	if h.N() != 2 {
+		t.Fatalf("N = %d", h.N())
+	}
+	if got := h.Quantile(0.25); got != 10 {
+		t.Fatalf("underflow quantile = %v, want first edge", got)
+	}
+}

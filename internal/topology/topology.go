@@ -1,0 +1,504 @@
+// Package topology models the physical data center network: a fat-tree
+// of ToR, spine and core switches with hosts (servers and translation
+// gateways) attached at the leaves. It classifies switches into the five
+// roles SwitchV2P distinguishes (Table 1 of the paper) and computes
+// ECMP next-hop tables for shortest-path up/down routing.
+package topology
+
+import (
+	"fmt"
+
+	"switchv2p/internal/netaddr"
+	"switchv2p/internal/simtime"
+)
+
+// SwitchRole is the location-derived category of a switch (§3.2).
+type SwitchRole uint8
+
+// Switch roles. Gateway ToRs are directly attached to translation
+// gateways; gateway spines sit in gateway pods.
+const (
+	RoleToR SwitchRole = iota
+	RoleSpine
+	RoleCore
+	RoleGatewayToR
+	RoleGatewaySpine
+)
+
+// String returns the role's name.
+func (r SwitchRole) String() string {
+	switch r {
+	case RoleToR:
+		return "tor"
+	case RoleSpine:
+		return "spine"
+	case RoleCore:
+		return "core"
+	case RoleGatewayToR:
+		return "gateway-tor"
+	case RoleGatewaySpine:
+		return "gateway-spine"
+	default:
+		return fmt.Sprintf("role(%d)", uint8(r))
+	}
+}
+
+// IsToR reports whether the role is a top-of-rack switch (gateway or not).
+func (r SwitchRole) IsToR() bool { return r == RoleToR || r == RoleGatewayToR }
+
+// IsSpine reports whether the role is a spine switch (gateway or not).
+func (r SwitchRole) IsSpine() bool { return r == RoleSpine || r == RoleGatewaySpine }
+
+// Layer returns the coarse topology layer used in the hit-distribution
+// analysis (Table 5): "tor", "spine" or "core".
+func (r SwitchRole) Layer() string {
+	switch {
+	case r.IsToR():
+		return "tor"
+	case r.IsSpine():
+		return "spine"
+	default:
+		return "core"
+	}
+}
+
+// Switch describes one switch in the topology.
+type Switch struct {
+	Idx  int32 // dense index into Topology.Switches; also the SwitchV2P identifier
+	PIP  netaddr.PIP
+	Role SwitchRole
+	Pod  int // -1 for core switches
+	Rack int // rack index within the pod for ToRs, -1 otherwise
+}
+
+// Host describes a server or a translation gateway attached to a ToR.
+type Host struct {
+	Idx     int32 // dense index into Topology.Hosts
+	PIP     netaddr.PIP
+	Pod     int
+	Rack    int
+	ToR     int32 // switch index of the attached ToR
+	Gateway bool  // true if this host is a translation gateway instance
+}
+
+// LinkClass selects link parameters: host links are server NICs, fabric
+// links are switch-to-switch.
+type LinkClass uint8
+
+// Link classes.
+const (
+	HostLink LinkClass = iota
+	FabricLink
+)
+
+// Config parameterizes a fat-tree build. The defaults mirror the paper's
+// evaluation setup (§5 "Network parameters").
+type Config struct {
+	Pods           int
+	RacksPerPod    int
+	SpinesPerPod   int
+	Cores          int
+	ServersPerRack int
+
+	// GatewayPods lists the pods that host translation gateways; the last
+	// rack's ToR in each becomes the gateway ToR with GatewaysPerPod
+	// gateway instances attached. GatewayCounts, when non-nil, overrides
+	// GatewaysPerPod with a per-pod count (parallel to GatewayPods).
+	GatewayPods    []int
+	GatewaysPerPod int
+	GatewayCounts  []int
+
+	HostLinkBps   int64            // server NIC speed (bits/s)
+	FabricLinkBps int64            // switch-to-switch speed (bits/s)
+	LinkDelay     simtime.Duration // per-link propagation delay
+	BufferBytes   int              // shared buffer per switch
+}
+
+// FT8 returns the FT8-10K configuration from Table 3: 8 pods, 4 racks per
+// pod, 32 ToRs, 32 spines, 16 cores, 128 servers, 40 gateways in half the
+// pods, 100 Gbps NICs, 400 Gbps fabric, 1 µs link delay, 32 MB buffers.
+func FT8() Config {
+	return Config{
+		Pods: 8, RacksPerPod: 4, SpinesPerPod: 4, Cores: 16, ServersPerRack: 4,
+		GatewayPods: []int{0, 2, 5, 7}, GatewaysPerPod: 10,
+		HostLinkBps: 100e9, FabricLinkBps: 400e9,
+		LinkDelay: simtime.Microsecond, BufferBytes: 32 << 20,
+	}
+}
+
+// FT16 returns the FT16-400K configuration from Table 3: 50 pods, 8 racks
+// per pod, 400 ToRs, 16 cores, 12800 servers, 250 gateways in half the pods.
+func FT16() Config {
+	gwPods := make([]int, 0, 25)
+	for p := 0; p < 50; p += 2 {
+		gwPods = append(gwPods, p)
+	}
+	return Config{
+		Pods: 50, RacksPerPod: 8, SpinesPerPod: 8, Cores: 16, ServersPerRack: 32,
+		GatewayPods: gwPods, GatewaysPerPod: 10,
+		HostLinkBps: 100e9, FabricLinkBps: 400e9,
+		LinkDelay: simtime.Microsecond, BufferBytes: 32 << 20,
+	}
+}
+
+// ScaledFT8 returns the FT8-10K topology rescaled to the given pod count
+// while keeping 128 servers total, as in the topology-scaling experiment
+// (Fig. 10): the number of servers per rack shrinks as pods grow.
+func ScaledFT8(pods int) (Config, error) {
+	const totalServers = 128
+	cfg := FT8()
+	cfg.Pods = pods
+	perPod := totalServers / pods
+	if perPod*pods != totalServers {
+		return Config{}, fmt.Errorf("topology: %d pods does not divide %d servers", pods, totalServers)
+	}
+	cfg.ServersPerRack = perPod / cfg.RacksPerPod
+	if cfg.ServersPerRack*cfg.RacksPerPod != perPod {
+		return Config{}, fmt.Errorf("topology: %d pods leaves fractional servers per rack", pods)
+	}
+	// Keep half the pods as gateway pods (at least one).
+	cfg.GatewayPods = nil
+	for p := 0; p < pods; p += 2 {
+		cfg.GatewayPods = append(cfg.GatewayPods, p)
+	}
+	// Keep the total gateway count at 40, spreading the remainder over the
+	// first pods.
+	n := len(cfg.GatewayPods)
+	cfg.GatewayCounts = make([]int, n)
+	for i := range cfg.GatewayCounts {
+		cfg.GatewayCounts[i] = 40 / n
+		if i < 40%n {
+			cfg.GatewayCounts[i]++
+		}
+	}
+	return cfg, nil
+}
+
+// Validate checks that the configuration is internally consistent.
+func (c Config) Validate() error {
+	switch {
+	case c.Pods <= 0 || c.RacksPerPod <= 0 || c.SpinesPerPod <= 0 || c.Cores <= 0 || c.ServersPerRack < 0:
+		return fmt.Errorf("topology: non-positive dimension in %+v", c)
+	case c.HostLinkBps <= 0 || c.FabricLinkBps <= 0:
+		return fmt.Errorf("topology: non-positive link speed")
+	case c.LinkDelay < 0:
+		return fmt.Errorf("topology: negative link delay")
+	case c.GatewaysPerPod < 0:
+		return fmt.Errorf("topology: negative gateways per pod")
+	}
+	for _, p := range c.GatewayPods {
+		if p < 0 || p >= c.Pods {
+			return fmt.Errorf("topology: gateway pod %d out of range [0,%d)", p, c.Pods)
+		}
+	}
+	return nil
+}
+
+// Edge is one physical link between two attachment points.
+type Edge struct {
+	A, B  NodeRef
+	Class LinkClass
+}
+
+// NodeKind discriminates the two endpoint kinds of an Edge.
+type NodeKind uint8
+
+// Node kinds.
+const (
+	KindSwitch NodeKind = iota
+	KindHost
+)
+
+// NodeRef identifies a switch or host by kind and dense index.
+type NodeRef struct {
+	Kind NodeKind
+	Idx  int32
+}
+
+// SwitchRef and HostRef build NodeRefs.
+func SwitchRef(i int32) NodeRef { return NodeRef{KindSwitch, i} }
+
+// HostRef returns a NodeRef for host index i.
+func HostRef(i int32) NodeRef { return NodeRef{KindHost, i} }
+
+// Topology is a fully built network: switches, hosts, links and ECMP
+// next-hop tables. Build one with New.
+type Topology struct {
+	Cfg      Config
+	Switches []Switch
+	Hosts    []Host
+	Edges    []Edge
+
+	adj         [][]int32 // switch -> neighboring switch indices
+	hostsAtToR  [][]int32 // switch -> attached host indices (empty for non-ToRs)
+	next        [][][]int32
+	switchByPIP map[netaddr.PIP]int32
+	hostByPIP   map[netaddr.PIP]int32
+	gateways    []int32 // host indices of gateway instances
+}
+
+// New builds the fat-tree described by cfg and computes routing tables.
+func New(cfg Config) (*Topology, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	t := &Topology{
+		Cfg:         cfg,
+		switchByPIP: make(map[netaddr.PIP]int32),
+		hostByPIP:   make(map[netaddr.PIP]int32),
+	}
+	var pips netaddr.PIPAllocator
+
+	gwCount := make(map[int]int, len(cfg.GatewayPods))
+	for i, p := range cfg.GatewayPods {
+		n := cfg.GatewaysPerPod
+		if cfg.GatewayCounts != nil {
+			n = cfg.GatewayCounts[i]
+		}
+		gwCount[p] = n
+	}
+	gwPod := func(p int) bool { _, ok := gwCount[p]; return ok }
+
+	addSwitch := func(role SwitchRole, pod, rack int) int32 {
+		idx := int32(len(t.Switches))
+		s := Switch{Idx: idx, PIP: pips.Next(), Role: role, Pod: pod, Rack: rack}
+		t.Switches = append(t.Switches, s)
+		t.switchByPIP[s.PIP] = idx
+		return idx
+	}
+	addHost := func(pod, rack int, tor int32, gw bool) int32 {
+		idx := int32(len(t.Hosts))
+		h := Host{Idx: idx, PIP: pips.Next(), Pod: pod, Rack: rack, ToR: tor, Gateway: gw}
+		t.Hosts = append(t.Hosts, h)
+		t.hostByPIP[h.PIP] = idx
+		if gw {
+			t.gateways = append(t.gateways, idx)
+		}
+		return idx
+	}
+
+	// ToRs and spines per pod; the gateway ToR is the last rack's ToR of a
+	// gateway pod (matching Fig. 8's "spines 1-4, ToRs 5-7, gateway ToR 8").
+	tors := make([][]int32, cfg.Pods)   // [pod][rack]
+	spines := make([][]int32, cfg.Pods) // [pod][spine]
+	for p := 0; p < cfg.Pods; p++ {
+		tors[p] = make([]int32, cfg.RacksPerPod)
+		for r := 0; r < cfg.RacksPerPod; r++ {
+			role := RoleToR
+			if gwPod(p) && r == cfg.RacksPerPod-1 {
+				role = RoleGatewayToR
+			}
+			tors[p][r] = addSwitch(role, p, r)
+		}
+		spines[p] = make([]int32, cfg.SpinesPerPod)
+		for s := 0; s < cfg.SpinesPerPod; s++ {
+			role := RoleSpine
+			if gwPod(p) {
+				role = RoleGatewaySpine
+			}
+			spines[p][s] = addSwitch(role, p, -1)
+		}
+	}
+	cores := make([]int32, cfg.Cores)
+	for c := 0; c < cfg.Cores; c++ {
+		cores[c] = addSwitch(RoleCore, -1, -1)
+	}
+
+	t.hostsAtToR = make([][]int32, len(t.Switches))
+	t.adj = make([][]int32, len(t.Switches))
+
+	addEdge := func(a, b NodeRef, class LinkClass) {
+		t.Edges = append(t.Edges, Edge{A: a, B: b, Class: class})
+		if a.Kind == KindSwitch && b.Kind == KindSwitch {
+			t.adj[a.Idx] = append(t.adj[a.Idx], b.Idx)
+			t.adj[b.Idx] = append(t.adj[b.Idx], a.Idx)
+		}
+	}
+
+	// Hosts: servers in every rack; gateways on gateway ToRs.
+	for p := 0; p < cfg.Pods; p++ {
+		for r := 0; r < cfg.RacksPerPod; r++ {
+			tor := tors[p][r]
+			for s := 0; s < cfg.ServersPerRack; s++ {
+				h := addHost(p, r, tor, false)
+				t.hostsAtToR[tor] = append(t.hostsAtToR[tor], h)
+				addEdge(HostRef(h), SwitchRef(tor), HostLink)
+			}
+		}
+		if gwPod(p) {
+			tor := tors[p][cfg.RacksPerPod-1]
+			for g := 0; g < gwCount[p]; g++ {
+				h := addHost(p, cfg.RacksPerPod-1, tor, true)
+				t.hostsAtToR[tor] = append(t.hostsAtToR[tor], h)
+				addEdge(HostRef(h), SwitchRef(tor), HostLink)
+			}
+		}
+	}
+
+	// Fabric: every ToR connects to every spine in its pod; core c connects
+	// to spine (c mod SpinesPerPod) in every pod.
+	for p := 0; p < cfg.Pods; p++ {
+		for _, tor := range tors[p] {
+			for _, sp := range spines[p] {
+				addEdge(SwitchRef(tor), SwitchRef(sp), FabricLink)
+			}
+		}
+		for c, core := range cores {
+			sp := spines[p][c%cfg.SpinesPerPod]
+			addEdge(SwitchRef(sp), SwitchRef(core), FabricLink)
+		}
+	}
+
+	t.computeRoutes()
+	return t, nil
+}
+
+// computeRoutes fills the ECMP next-hop table: next[src][dst] lists the
+// neighbor switches of src that lie on a shortest path to switch dst.
+func (t *Topology) computeRoutes() {
+	n := len(t.Switches)
+	t.next = make([][][]int32, n)
+	for i := range t.next {
+		t.next[i] = make([][]int32, n)
+	}
+	dist := make([]int32, n)
+	queue := make([]int32, 0, n)
+	for dst := 0; dst < n; dst++ {
+		// BFS from dst over the switch graph.
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[dst] = 0
+		queue = append(queue[:0], int32(dst))
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, v := range t.adj[u] {
+				if dist[v] < 0 {
+					dist[v] = dist[u] + 1
+					queue = append(queue, v)
+				}
+			}
+		}
+		for src := 0; src < n; src++ {
+			if src == dst || dist[src] < 0 {
+				continue
+			}
+			var hops []int32
+			for _, v := range t.adj[src] {
+				if dist[v] == dist[src]-1 {
+					hops = append(hops, v)
+				}
+			}
+			t.next[src][dst] = hops
+		}
+	}
+}
+
+// NextHops returns the ECMP next-hop candidates from switch src toward
+// switch dst. The slice is empty when dst is unreachable or src == dst.
+func (t *Topology) NextHops(src, dst int32) []int32 { return t.next[src][dst] }
+
+// SwitchDistance returns the hop count between two switches, or -1 if
+// disconnected.
+func (t *Topology) SwitchDistance(a, b int32) int {
+	if a == b {
+		return 0
+	}
+	d := 0
+	cur := a
+	for cur != b {
+		hops := t.next[cur][b]
+		if len(hops) == 0 {
+			return -1
+		}
+		cur = hops[0]
+		d++
+		if d > len(t.Switches) {
+			return -1
+		}
+	}
+	return d
+}
+
+// HostsAtToR returns the host indices attached to the given switch.
+func (t *Topology) HostsAtToR(sw int32) []int32 { return t.hostsAtToR[sw] }
+
+// SwitchByPIP resolves a physical address to a switch index.
+func (t *Topology) SwitchByPIP(p netaddr.PIP) (int32, bool) {
+	i, ok := t.switchByPIP[p]
+	return i, ok
+}
+
+// HostByPIP resolves a physical address to a host index.
+func (t *Topology) HostByPIP(p netaddr.PIP) (int32, bool) {
+	i, ok := t.hostByPIP[p]
+	return i, ok
+}
+
+// Gateways returns the host indices of all translation gateway instances.
+func (t *Topology) Gateways() []int32 { return t.gateways }
+
+// Servers returns the host indices of all non-gateway servers.
+func (t *Topology) Servers() []int32 {
+	var out []int32
+	for _, h := range t.Hosts {
+		if !h.Gateway {
+			out = append(out, h.Idx)
+		}
+	}
+	return out
+}
+
+// ToRs returns the switch indices of all (gateway and regular) ToRs.
+func (t *Topology) ToRs() []int32 {
+	var out []int32
+	for _, s := range t.Switches {
+		if s.Role.IsToR() {
+			out = append(out, s.Idx)
+		}
+	}
+	return out
+}
+
+// SwitchesInPod returns the switch indices belonging to the given pod,
+// spines first then ToRs, matching the paper's Fig. 8 switch numbering.
+func (t *Topology) SwitchesInPod(pod int) []int32 {
+	var spines, tors []int32
+	for _, s := range t.Switches {
+		if s.Pod != pod {
+			continue
+		}
+		if s.Role.IsSpine() {
+			spines = append(spines, s.Idx)
+		} else {
+			tors = append(tors, s.Idx)
+		}
+	}
+	return append(spines, tors...)
+}
+
+// String summarizes the topology (Table 3 style).
+func (t *Topology) String() string {
+	nTor, nSpine, nCore, nGw := 0, 0, 0, 0
+	for _, s := range t.Switches {
+		switch {
+		case s.Role.IsToR():
+			nTor++
+		case s.Role.IsSpine():
+			nSpine++
+		default:
+			nCore++
+		}
+	}
+	nServers := 0
+	for _, h := range t.Hosts {
+		if h.Gateway {
+			nGw++
+		} else {
+			nServers++
+		}
+	}
+	return fmt.Sprintf("fat-tree: %d pods, %d ToRs, %d spines, %d cores, %d servers, %d gateways",
+		t.Cfg.Pods, nTor, nSpine, nCore, nServers, nGw)
+}

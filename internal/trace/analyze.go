@@ -1,0 +1,68 @@
+package trace
+
+import (
+	"fmt"
+
+	"switchv2p/internal/netaddr"
+	"switchv2p/internal/simtime"
+)
+
+// ReuseStats characterizes a workload's cross-flow destination reuse,
+// mirroring the paper's "Address reuse characteristics" analysis (§5).
+type ReuseStats struct {
+	Flows         int
+	DistinctDests int
+	DestsGE2      int // VMs that are a destination in >= 2 flows
+	DestsGE10     int // VMs that are a destination in >= 10 flows
+	// MeanReuseDistance is the mean time between consecutive flows to
+	// the same destination (0 if no destination repeats).
+	MeanReuseDistance simtime.Duration
+	TotalBytes        int64
+}
+
+// Analyze computes reuse statistics for a workload.
+func Analyze(w *Workload) ReuseStats {
+	var s ReuseStats
+	s.Flows = len(w.Flows)
+	s.TotalBytes = w.TotalBytes()
+	counts := make(map[netaddr.VIP]int)
+	lastSeen := make(map[netaddr.VIP]simtime.Time)
+	var distSum int64
+	var distN int64
+	for i := range w.Flows {
+		f := &w.Flows[i]
+		counts[f.Dst]++
+		if t, ok := lastSeen[f.Dst]; ok {
+			distSum += int64(f.Start.Sub(t))
+			distN++
+		}
+		lastSeen[f.Dst] = f.Start
+	}
+	s.DistinctDests = len(counts)
+	for _, c := range counts {
+		if c >= 2 {
+			s.DestsGE2++
+		}
+		if c >= 10 {
+			s.DestsGE10++
+		}
+	}
+	if distN > 0 {
+		s.MeanReuseDistance = simtime.Duration(distSum / distN)
+	}
+	return s
+}
+
+// String renders the analysis like the paper's prose.
+func (s ReuseStats) String() string {
+	return fmt.Sprintf("flows=%d distinctDests=%d dests>=2:%d dests>=10:%d meanReuseDist=%v bytes=%d",
+		s.Flows, s.DistinctDests, s.DestsGE2, s.DestsGE10, s.MeanReuseDistance, s.TotalBytes)
+}
+
+// OfferedLoad returns the workload's offered load as a fraction of the
+// aggregate host-link capacity over the duration.
+func OfferedLoad(w *Workload, servers int, hostLinkBps int64, d simtime.Duration) float64 {
+	bits := float64(w.TotalBytes()) * 8
+	capacity := float64(servers) * float64(hostLinkBps) * d.Seconds()
+	return bits / capacity
+}

@@ -1,0 +1,128 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// CDF is an empirical flow-size distribution given as (value, cumulative
+// probability) points, sampled by inverse transform with log-linear
+// interpolation between points — the standard way NS3-based evaluations
+// consume published workload CDFs.
+type CDF struct {
+	values []float64
+	probs  []float64
+}
+
+// NewCDF builds a CDF from (value, cumProb) pairs. Probabilities must be
+// strictly increasing and end at 1.0; values must be positive and
+// non-decreasing.
+func NewCDF(points [][2]float64) (*CDF, error) {
+	if len(points) == 0 {
+		return nil, fmt.Errorf("trace: empty CDF")
+	}
+	c := &CDF{}
+	prevP, prevV := 0.0, 0.0
+	for i, pt := range points {
+		v, p := pt[0], pt[1]
+		if v <= 0 || v < prevV {
+			return nil, fmt.Errorf("trace: CDF value %v at %d not positive/non-decreasing", v, i)
+		}
+		if p <= prevP || p > 1 {
+			return nil, fmt.Errorf("trace: CDF prob %v at %d not increasing in (0,1]", p, i)
+		}
+		c.values = append(c.values, v)
+		c.probs = append(c.probs, p)
+		prevP, prevV = p, v
+	}
+	if c.probs[len(c.probs)-1] != 1 {
+		return nil, fmt.Errorf("trace: CDF must end at probability 1, got %v", prevP)
+	}
+	return c, nil
+}
+
+// MustCDF is NewCDF that panics on malformed tables (package literals).
+func MustCDF(points [][2]float64) *CDF {
+	c, err := NewCDF(points)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Sample draws one value.
+func (c *CDF) Sample(rng *rand.Rand) float64 {
+	u := rng.Float64()
+	i := sort.SearchFloat64s(c.probs, u)
+	if i >= len(c.probs) {
+		i = len(c.probs) - 1
+	}
+	hiV, hiP := c.values[i], c.probs[i]
+	loV, loP := 0.0, 0.0
+	if i > 0 {
+		loV, loP = c.values[i-1], c.probs[i-1]
+	}
+	if hiP == loP {
+		return hiV
+	}
+	frac := (u - loP) / (hiP - loP)
+	if loV <= 0 {
+		return hiV * frac // linear from zero for the first bucket
+	}
+	// Log-linear interpolation suits the heavy-tailed size distributions.
+	return math.Exp(math.Log(loV) + frac*(math.Log(hiV)-math.Log(loV)))
+}
+
+// Mean returns the distribution mean under the interpolation model,
+// estimated analytically from the trapezoids (geometric mean per bucket
+// is a good closed-form approximation for log-linear segments).
+func (c *CDF) Mean() float64 {
+	mean := 0.0
+	loV, loP := 0.0, 0.0
+	for i := range c.values {
+		hiV, hiP := c.values[i], c.probs[i]
+		var mid float64
+		if loV <= 0 {
+			mid = hiV / 2
+		} else {
+			mid = math.Sqrt(loV * hiV) // geometric midpoint of the bucket
+		}
+		mean += mid * (hiP - loP)
+		loV, loP = hiV, hiP
+	}
+	return mean
+}
+
+// Max returns the largest value in the table.
+func (c *CDF) Max() float64 { return c.values[len(c.values)-1] }
+
+// HadoopCDF approximates the Facebook Hadoop flow-size distribution
+// (Roy et al. [46]): dominated by short flows with a light heavy tail.
+func HadoopCDF() *CDF {
+	return MustCDF([][2]float64{
+		{150, 0.10}, {300, 0.25}, {600, 0.40}, {1200, 0.52},
+		{3000, 0.63}, {8000, 0.72}, {20000, 0.81}, {60000, 0.89},
+		{200000, 0.95}, {700000, 0.98}, {3000000, 0.995}, {10000000, 1.0},
+	})
+}
+
+// WebSearchCDF approximates the DCTCP web-search distribution
+// (Alizadeh et al. [4]): mostly heavy flows.
+func WebSearchCDF() *CDF {
+	return MustCDF([][2]float64{
+		{6000, 0.15}, {13000, 0.20}, {19000, 0.30}, {33000, 0.40},
+		{53000, 0.53}, {133000, 0.60}, {667000, 0.70}, {1333000, 0.80},
+		{4000000, 0.90}, {10000000, 0.97}, {30000000, 1.0},
+	})
+}
+
+// AlibabaRPCCDF approximates the Alibaba microservice RPC message sizes
+// (Luo et al. [36]): small request/response payloads.
+func AlibabaRPCCDF() *CDF {
+	return MustCDF([][2]float64{
+		{256, 0.20}, {512, 0.35}, {1024, 0.50}, {2048, 0.65},
+		{4096, 0.78}, {8192, 0.88}, {16384, 0.95}, {65536, 1.0},
+	})
+}

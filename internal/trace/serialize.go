@@ -1,0 +1,61 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"switchv2p/internal/transport"
+)
+
+// Workload files are JSON-lines: a header object followed by one flow
+// per line. The format is stable and diff-friendly, so generated
+// workloads can be checked in, inspected, and replayed byte-identically.
+
+type fileHeader struct {
+	Format string `json:"format"`
+	Name   string `json:"name"`
+	Flows  int    `json:"flows"`
+}
+
+const formatID = "switchv2p-workload/1"
+
+// Write serializes the workload.
+func (w *Workload) Write(out io.Writer) error {
+	bw := bufio.NewWriter(out)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(fileHeader{Format: formatID, Name: w.Name, Flows: len(w.Flows)}); err != nil {
+		return err
+	}
+	for i := range w.Flows {
+		if err := enc.Encode(&w.Flows[i]); err != nil {
+			return fmt.Errorf("trace: encoding flow %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadWorkload parses a workload written by Write.
+func ReadWorkload(in io.Reader) (*Workload, error) {
+	dec := json.NewDecoder(bufio.NewReader(in))
+	var hdr fileHeader
+	if err := dec.Decode(&hdr); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if hdr.Format != formatID {
+		return nil, fmt.Errorf("trace: unknown format %q", hdr.Format)
+	}
+	if hdr.Flows < 0 {
+		return nil, fmt.Errorf("trace: negative flow count %d", hdr.Flows)
+	}
+	w := &Workload{Name: hdr.Name, Flows: make([]transport.FlowSpec, 0, hdr.Flows)}
+	for i := 0; i < hdr.Flows; i++ {
+		var f transport.FlowSpec
+		if err := dec.Decode(&f); err != nil {
+			return nil, fmt.Errorf("trace: decoding flow %d: %w", i, err)
+		}
+		w.Flows = append(w.Flows, f)
+	}
+	return w, nil
+}

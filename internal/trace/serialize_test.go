@@ -1,0 +1,77 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestWorkloadRoundTrip(t *testing.T) {
+	w, err := Hadoop(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := w.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadWorkload(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != w.Name {
+		t.Fatalf("name %q != %q", got.Name, w.Name)
+	}
+	if !reflect.DeepEqual(got.Flows, w.Flows) {
+		t.Fatal("flows differ after round trip")
+	}
+}
+
+func TestWorkloadRoundTripUDP(t *testing.T) {
+	w, err := Video(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := w.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadWorkload(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Flows, w.Flows) {
+		t.Fatal("UDP flows differ after round trip")
+	}
+}
+
+func TestReadWorkloadRejectsGarbage(t *testing.T) {
+	for _, in := range []string{
+		"",
+		"not json",
+		`{"format":"something-else","name":"x","flows":0}`,
+		`{"format":"switchv2p-workload/1","name":"x","flows":3}` + "\n" + `{"ID":1}`,
+	} {
+		if _, err := ReadWorkload(strings.NewReader(in)); err == nil {
+			t.Fatalf("accepted %q", in)
+		}
+	}
+}
+
+func TestWriteIsDeterministic(t *testing.T) {
+	w, err := Microbursts(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := w.Write(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two writes of the same workload differ")
+	}
+}

@@ -1,0 +1,309 @@
+package trace
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"switchv2p/internal/netaddr"
+	"switchv2p/internal/simtime"
+	"switchv2p/internal/transport"
+)
+
+func vipPool(n int) []netaddr.VIP {
+	var alloc netaddr.VIPAllocator
+	out := make([]netaddr.VIP, n)
+	for i := range out {
+		out[i] = alloc.Next()
+	}
+	return out
+}
+
+func baseConfig() Config {
+	return Config{
+		VIPs:        vipPool(1024),
+		Servers:     128,
+		HostLinkBps: 100e9,
+		Load:        0.30,
+		Duration:    2 * simtime.Millisecond,
+		Seed:        7,
+	}
+}
+
+func TestCDFValidation(t *testing.T) {
+	if _, err := NewCDF(nil); err == nil {
+		t.Fatal("empty CDF accepted")
+	}
+	if _, err := NewCDF([][2]float64{{100, 0.5}}); err == nil {
+		t.Fatal("CDF not ending at 1 accepted")
+	}
+	if _, err := NewCDF([][2]float64{{100, 0.5}, {50, 1.0}}); err == nil {
+		t.Fatal("decreasing values accepted")
+	}
+	if _, err := NewCDF([][2]float64{{100, 0.5}, {200, 0.4}}); err == nil {
+		t.Fatal("non-increasing probs accepted")
+	}
+	if _, err := NewCDF([][2]float64{{-5, 1.0}}); err == nil {
+		t.Fatal("negative value accepted")
+	}
+}
+
+func TestCDFSampleWithinRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for name, cdf := range map[string]*CDF{
+		"hadoop": HadoopCDF(), "websearch": WebSearchCDF(), "alibaba": AlibabaRPCCDF(),
+	} {
+		for i := 0; i < 10000; i++ {
+			v := cdf.Sample(rng)
+			if v <= 0 || v > cdf.Max() {
+				t.Fatalf("%s sample %v out of (0, %v]", name, v, cdf.Max())
+			}
+		}
+	}
+}
+
+func TestCDFEmpiricalMeanMatchesAnalytic(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	cdf := HadoopCDF()
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += cdf.Sample(rng)
+	}
+	emp := sum / n
+	ana := cdf.Mean()
+	if math.Abs(emp-ana)/ana > 0.25 {
+		t.Fatalf("empirical mean %v vs analytic %v: >25%% apart", emp, ana)
+	}
+}
+
+func TestHadoopShape(t *testing.T) {
+	w, err := Hadoop(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Analyze(w)
+	// High destination reuse: the vast majority of destination VMs see >=2
+	// flows, as in the paper's characterization.
+	if s.Flows < 100 {
+		t.Fatalf("too few flows: %d", s.Flows)
+	}
+	if frac := float64(s.DestsGE2) / float64(s.DistinctDests); frac < 0.6 {
+		t.Fatalf("Hadoop dest>=2 fraction = %v, want high reuse", frac)
+	}
+	// Short flows dominate: median well under 100 KB.
+	smaller := 0
+	for i := range w.Flows {
+		if w.Flows[i].Bytes < 100_000 {
+			smaller++
+		}
+	}
+	if frac := float64(smaller) / float64(len(w.Flows)); frac < 0.7 {
+		t.Fatalf("Hadoop short-flow fraction = %v, want mostly short", frac)
+	}
+}
+
+func TestWebSearchShape(t *testing.T) {
+	// Keep the flow count below the 48% destination-coverage pool so the
+	// minimal-reuse structure is visible (the paper's population is 10240
+	// VMs for ~6K flows).
+	cfg := baseConfig()
+	cfg.Duration = simtime.Millisecond
+	w, err := WebSearch(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Analyze(w)
+	// Minimal cross-flow sharing: far fewer repeat destinations than Hadoop.
+	if frac := float64(s.DestsGE2) / float64(s.DistinctDests); frac > 0.5 {
+		t.Fatalf("WebSearch dest>=2 fraction = %v, want minimal reuse", frac)
+	}
+	// Heavy flows: mean size > 500 KB.
+	if mean := float64(s.TotalBytes) / float64(s.Flows); mean < 500_000 {
+		t.Fatalf("WebSearch mean flow = %v bytes, want heavy", mean)
+	}
+}
+
+func TestAlibabaShape(t *testing.T) {
+	w, err := Alibaba(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Analyze(w)
+	// Strong skew: some VMs are destinations in >= 10 flows, and only a
+	// minority of VMs are destinations at all.
+	if s.DestsGE10 == 0 {
+		t.Fatal("Alibaba has no hot destinations")
+	}
+	if frac := float64(s.DistinctDests) / 1024; frac > 0.5 {
+		t.Fatalf("Alibaba destination coverage = %v, want < 0.5 (skewed)", frac)
+	}
+}
+
+func TestMicroburstsShape(t *testing.T) {
+	w, err := Microbursts(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All UDP; burst durations have a ~158 µs tail.
+	var durations []simtime.Duration
+	for i := range w.Flows {
+		f := &w.Flows[i]
+		if f.Proto != transport.UDP {
+			t.Fatal("microbursts must be UDP")
+		}
+		durations = append(durations, simtime.Duration(int64(f.Interval)*int64(f.Packets-1)))
+	}
+	if len(durations) < 50 {
+		t.Fatalf("too few bursts: %d", len(durations))
+	}
+	var over, under int
+	for _, d := range durations {
+		if d > 400*simtime.Microsecond {
+			over++
+		}
+		if d <= 160*simtime.Microsecond {
+			under++
+		}
+	}
+	if frac := float64(under) / float64(len(durations)); frac < 0.90 {
+		t.Fatalf("burst durations: only %v <= 160µs, want ~0.99", frac)
+	}
+	if frac := float64(over) / float64(len(durations)); frac > 0.02 {
+		t.Fatalf("burst durations: %v over 400µs", frac)
+	}
+}
+
+func TestVideoShape(t *testing.T) {
+	w, err := Video(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Flows) != 64 {
+		t.Fatalf("video flows = %d, want 64", len(w.Flows))
+	}
+	s := Analyze(w)
+	if s.DestsGE2 != 0 {
+		t.Fatalf("video has destination reuse: %+v", s)
+	}
+	// Each sender ~48 Mbps.
+	for i := range w.Flows {
+		f := &w.Flows[i]
+		rate := float64(f.PacketPayload*8) / f.Interval.Seconds()
+		if rate < 40e6 || rate > 56e6 {
+			t.Fatalf("video flow rate = %v bps, want ~48Mbps", rate)
+		}
+		if f.Proto != transport.UDP {
+			t.Fatal("video must be UDP")
+		}
+	}
+}
+
+func TestVideoNeedsEnoughVMs(t *testing.T) {
+	cfg := baseConfig()
+	cfg.VIPs = vipPool(100)
+	if _, err := Video(cfg); err == nil {
+		t.Fatal("expected error with too few VMs")
+	}
+}
+
+func TestLoadCalibration(t *testing.T) {
+	for name, gen := range map[string]func(Config) (*Workload, error){
+		"hadoop": Hadoop, "websearch": WebSearch, "alibaba": Alibaba, "microbursts": Microbursts,
+	} {
+		cfg := baseConfig()
+		cfg.Duration = 10 * simtime.Millisecond
+		w, err := gen(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		load := OfferedLoad(w, cfg.Servers, cfg.HostLinkBps, cfg.Duration)
+		if load < 0.1 || load > 0.6 {
+			t.Fatalf("%s offered load = %v, want ~0.30", name, load)
+		}
+	}
+}
+
+func TestDeterminismBySeed(t *testing.T) {
+	cfg := baseConfig()
+	a, err := Hadoop(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Hadoop(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Flows, b.Flows) {
+		t.Fatal("same seed produced different workloads")
+	}
+	cfg.Seed = 8
+	c, err := Hadoop(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Flows, c.Flows) {
+		t.Fatal("different seeds produced identical workloads")
+	}
+}
+
+func TestMaxFlowsCap(t *testing.T) {
+	cfg := baseConfig()
+	cfg.MaxFlows = 10
+	w, err := Hadoop(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Flows) != 10 {
+		t.Fatalf("MaxFlows cap ignored: %d flows", len(w.Flows))
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := baseConfig()
+	bad.VIPs = bad.VIPs[:1]
+	if _, err := Hadoop(bad); err == nil {
+		t.Fatal("1-VM config accepted")
+	}
+	bad = baseConfig()
+	bad.Load = 0
+	if _, err := Hadoop(bad); err == nil {
+		t.Fatal("zero load accepted")
+	}
+	bad = baseConfig()
+	bad.Duration = 0
+	if _, err := Hadoop(bad); err == nil {
+		t.Fatal("zero duration accepted")
+	}
+}
+
+func TestIncast(t *testing.T) {
+	vips := vipPool(65)
+	w := Incast(vips[0], vips[1:], 64000, 500, simtime.Millisecond)
+	if len(w.Flows) != 64 {
+		t.Fatalf("incast flows = %d", len(w.Flows))
+	}
+	total := 0
+	for i := range w.Flows {
+		f := &w.Flows[i]
+		if f.Dst != vips[0] {
+			t.Fatal("incast flow with wrong destination")
+		}
+		total += f.Packets
+		if end := int64(f.Start) + int64(f.Interval)*int64(f.Packets-1); end > int64(simtime.Millisecond) {
+			t.Fatalf("incast flow runs past the duration: %d", end)
+		}
+	}
+	if total != 64000 {
+		t.Fatalf("incast total packets = %d, want 64000", total)
+	}
+}
+
+func TestGeneratorsRegistry(t *testing.T) {
+	for _, name := range []string{"hadoop", "websearch", "alibaba", "microbursts", "video"} {
+		if Generators[name] == nil {
+			t.Fatalf("missing generator %q", name)
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package vnet
+
+import (
+	"fmt"
+
+	"switchv2p/internal/netaddr"
+)
+
+// TenantID identifies a Virtual Private Cloud (VPC). Tenant 0 is the
+// default tenant used by single-tenant experiments. On the wire the id
+// travels as the tunnel VNI (24 bits).
+type TenantID uint32
+
+// MaxTenantID is the largest id expressible in the 24-bit VNI field.
+const MaxTenantID TenantID = 1<<24 - 1
+
+// AddVMForTenant places a new VM belonging to the given tenant.
+func (n *Net) AddVMForTenant(host int32, tenant TenantID) (netaddr.VIP, error) {
+	if tenant > MaxTenantID {
+		return netaddr.NoVIP, fmt.Errorf("vnet: tenant %d exceeds the 24-bit VNI space", tenant)
+	}
+	vip := n.AddVM(host)
+	if tenant != 0 {
+		if n.tenantOf == nil {
+			n.tenantOf = make(map[netaddr.VIP]TenantID)
+		}
+		n.tenantOf[vip] = tenant
+	}
+	return vip, nil
+}
+
+// TenantOf returns the VM's tenant (0 for the default tenant and for
+// unknown VIPs).
+func (n *Net) TenantOf(vip netaddr.VIP) TenantID {
+	return n.tenantOf[vip]
+}
+
+// TenantVMs returns all VIPs belonging to the given tenant, in creation
+// order. For tenant 0 this enumerates VMs never assigned to a tenant.
+func (n *Net) TenantVMs(tenant TenantID) []netaddr.VIP {
+	var out []netaddr.VIP
+	for _, vms := range n.vmsAt {
+		for _, vip := range vms {
+			if n.tenantOf[vip] == tenant {
+				out = append(out, vip)
+			}
+		}
+	}
+	sortVIPs(out)
+	return out
+}
+
+func sortVIPs(v []netaddr.VIP) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package vnet
+
+import (
+	"testing"
+
+	"switchv2p/internal/netaddr"
+)
+
+func TestTenantAssignment(t *testing.T) {
+	n := newNet(t)
+	servers := n.Topology().Servers()
+	v1, err := n.AddVMForTenant(servers[0], 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2 := n.AddVM(servers[1]) // default tenant
+	if got := n.TenantOf(v1); got != 7 {
+		t.Fatalf("TenantOf(v1) = %d, want 7", got)
+	}
+	if got := n.TenantOf(v2); got != 0 {
+		t.Fatalf("TenantOf(v2) = %d, want 0", got)
+	}
+	if got := n.TenantOf(netaddr.VIP(0xffff)); got != 0 {
+		t.Fatalf("TenantOf(unknown) = %d, want 0", got)
+	}
+}
+
+func TestTenantIDRange(t *testing.T) {
+	n := newNet(t)
+	servers := n.Topology().Servers()
+	if _, err := n.AddVMForTenant(servers[0], MaxTenantID); err != nil {
+		t.Fatalf("max tenant id rejected: %v", err)
+	}
+	if _, err := n.AddVMForTenant(servers[0], MaxTenantID+1); err == nil {
+		t.Fatal("tenant id beyond 24 bits accepted")
+	}
+}
+
+func TestTenantVMs(t *testing.T) {
+	n := newNet(t)
+	servers := n.Topology().Servers()
+	var want []netaddr.VIP
+	for i := 0; i < 5; i++ {
+		v, err := n.AddVMForTenant(servers[i], 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, v)
+		n.AddVM(servers[i]) // default-tenant noise
+	}
+	got := n.TenantVMs(3)
+	if len(got) != 5 {
+		t.Fatalf("TenantVMs(3) = %d VMs, want 5", len(got))
+	}
+	for i, v := range got {
+		if v != want[i] {
+			t.Fatalf("TenantVMs order: got[%d]=%v want %v", i, v, want[i])
+		}
+	}
+	if got := n.TenantVMs(0); len(got) != 5 {
+		t.Fatalf("TenantVMs(0) = %d VMs, want 5", len(got))
+	}
+}
+
+func TestTenantSurvivesMigration(t *testing.T) {
+	n := newNet(t)
+	servers := n.Topology().Servers()
+	v, err := n.AddVMForTenant(servers[0], 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Migrate(v, servers[5]); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.TenantOf(v); got != 9 {
+		t.Fatalf("tenant lost on migration: %d", got)
+	}
+}

@@ -1,0 +1,166 @@
+// Package vnet holds the virtual network state: which VM (identified by
+// its virtual IP) currently lives on which physical host, the
+// authoritative V2P mapping database that translation gateways consult,
+// and the follow-me forwarding rules that cover VM migrations.
+package vnet
+
+import (
+	"fmt"
+	"math/rand"
+
+	"switchv2p/internal/netaddr"
+	"switchv2p/internal/topology"
+)
+
+// Net is the virtual network control-plane state. It is written by a
+// single party (the "network administrator": placement and migration) and
+// read by gateways and hypervisors, mirroring the single-writer
+// multi-reader structure the paper identifies.
+type Net struct {
+	topo *topology.Topology
+
+	hostOf  map[netaddr.VIP]int32   // current host index of each VM
+	vmsAt   map[int32][]netaddr.VIP // host index -> VMs placed there
+	vipPool netaddr.VIPAllocator
+
+	// followMe records, per host, the new physical location of VMs that
+	// recently migrated away (Andromeda's follow-me rule): the old host
+	// forwards misdelivered packets there in host-driven designs.
+	followMe map[int32]map[netaddr.VIP]netaddr.PIP
+
+	// tenantOf records VPC membership for VMs of non-default tenants
+	// (§4 "Multitenancy support"); absent VIPs belong to tenant 0.
+	tenantOf map[netaddr.VIP]TenantID
+
+	// Version counts mapping updates; useful for cache-staleness tests.
+	Version uint64
+}
+
+// New creates an empty virtual network over the given topology.
+func New(topo *topology.Topology) *Net {
+	return &Net{
+		topo:     topo,
+		hostOf:   make(map[netaddr.VIP]int32),
+		vmsAt:    make(map[int32][]netaddr.VIP),
+		followMe: make(map[int32]map[netaddr.VIP]netaddr.PIP),
+	}
+}
+
+// Topology returns the underlying physical topology.
+func (n *Net) Topology() *topology.Topology { return n.topo }
+
+// AddVM places a brand-new VM on the given host and returns its VIP.
+func (n *Net) AddVM(host int32) netaddr.VIP {
+	if n.topo.Hosts[host].Gateway {
+		panic(fmt.Sprintf("vnet: cannot place VM on gateway host %d", host))
+	}
+	vip := n.vipPool.Next()
+	n.hostOf[vip] = host
+	n.vmsAt[host] = append(n.vmsAt[host], vip)
+	n.Version++
+	return vip
+}
+
+// PlaceUniform creates count VMs spread uniformly at random over the
+// non-gateway servers, returning their VIPs in creation order.
+func (n *Net) PlaceUniform(count int, rng *rand.Rand) []netaddr.VIP {
+	servers := n.topo.Servers()
+	vips := make([]netaddr.VIP, count)
+	for i := range vips {
+		vips[i] = n.AddVM(servers[rng.Intn(len(servers))])
+	}
+	return vips
+}
+
+// PlaceRoundRobin creates count VMs spread evenly (deterministically)
+// over the servers: VM i goes to server i mod #servers.
+func (n *Net) PlaceRoundRobin(count int) []netaddr.VIP {
+	servers := n.topo.Servers()
+	vips := make([]netaddr.VIP, count)
+	for i := range vips {
+		vips[i] = n.AddVM(servers[i%len(servers)])
+	}
+	return vips
+}
+
+// Lookup is the authoritative translation gateways use: the current
+// physical address of the VM. ok is false for unknown VIPs.
+func (n *Net) Lookup(vip netaddr.VIP) (netaddr.PIP, bool) {
+	h, ok := n.hostOf[vip]
+	if !ok {
+		return netaddr.NoPIP, false
+	}
+	return n.topo.Hosts[h].PIP, true
+}
+
+// HostOf returns the host index currently running the VM.
+func (n *Net) HostOf(vip netaddr.VIP) (int32, bool) {
+	h, ok := n.hostOf[vip]
+	return h, ok
+}
+
+// HostHasVM reports whether the VM currently runs on the given host; this
+// is the hypervisor's local-delivery check.
+func (n *Net) HostHasVM(host int32, vip netaddr.VIP) bool {
+	h, ok := n.hostOf[vip]
+	return ok && h == host
+}
+
+// VMsAt returns the VMs currently placed on a host.
+func (n *Net) VMsAt(host int32) []netaddr.VIP { return n.vmsAt[host] }
+
+// NumVMs returns the number of placed VMs.
+func (n *Net) NumVMs() int { return len(n.hostOf) }
+
+// Migrate moves the VM to a new host: the authoritative database is
+// updated immediately (gateways see the new location) and a follow-me
+// rule is installed at the old host so that host-driven designs can
+// re-forward misdelivered packets.
+func (n *Net) Migrate(vip netaddr.VIP, newHost int32) error {
+	old, ok := n.hostOf[vip]
+	if !ok {
+		return fmt.Errorf("vnet: migrate of unknown VIP %v", vip)
+	}
+	if n.topo.Hosts[newHost].Gateway {
+		return fmt.Errorf("vnet: cannot migrate VM to gateway host %d", newHost)
+	}
+	if old == newHost {
+		return fmt.Errorf("vnet: VIP %v already on host %d", vip, newHost)
+	}
+	// Remove from the old host's list.
+	vms := n.vmsAt[old]
+	for i, v := range vms {
+		if v == vip {
+			vms[i] = vms[len(vms)-1]
+			n.vmsAt[old] = vms[:len(vms)-1]
+			break
+		}
+	}
+	n.hostOf[vip] = newHost
+	n.vmsAt[newHost] = append(n.vmsAt[newHost], vip)
+	fm := n.followMe[old]
+	if fm == nil {
+		fm = make(map[netaddr.VIP]netaddr.PIP)
+		n.followMe[old] = fm
+	}
+	fm[vip] = n.topo.Hosts[newHost].PIP
+	n.Version++
+	return nil
+}
+
+// FollowMe returns the follow-me target the old host knows for a departed
+// VM, if any.
+func (n *Net) FollowMe(oldHost int32, vip netaddr.VIP) (netaddr.PIP, bool) {
+	p, ok := n.followMe[oldHost][vip]
+	return p, ok
+}
+
+// AllMappings returns a snapshot of every VIP->PIP mapping; Direct-style
+// host-driven schemes preprogram hosts from this.
+func (n *Net) AllMappings() []netaddr.Mapping {
+	out := make([]netaddr.Mapping, 0, len(n.hostOf))
+	for vip, h := range n.hostOf {
+		out = append(out, netaddr.Mapping{VIP: vip, PIP: n.topo.Hosts[h].PIP})
+	}
+	return out
+}

@@ -1,0 +1,167 @@
+package vnet
+
+import (
+	"math/rand"
+	"testing"
+
+	"switchv2p/internal/netaddr"
+	"switchv2p/internal/topology"
+)
+
+func newNet(t testing.TB) *Net {
+	t.Helper()
+	topo, err := topology.New(topology.FT8())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(topo)
+}
+
+func TestAddVMAndLookup(t *testing.T) {
+	n := newNet(t)
+	servers := n.Topology().Servers()
+	vip := n.AddVM(servers[0])
+	pip, ok := n.Lookup(vip)
+	if !ok || pip != n.Topology().Hosts[servers[0]].PIP {
+		t.Fatalf("Lookup(%v) = %v,%v", vip, pip, ok)
+	}
+	if h, ok := n.HostOf(vip); !ok || h != servers[0] {
+		t.Fatalf("HostOf = %d,%v", h, ok)
+	}
+	if !n.HostHasVM(servers[0], vip) {
+		t.Fatal("HostHasVM false for placed VM")
+	}
+	if n.HostHasVM(servers[1], vip) {
+		t.Fatal("HostHasVM true on wrong host")
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	n := newNet(t)
+	if _, ok := n.Lookup(netaddr.VIP(12345)); ok {
+		t.Fatal("Lookup of unknown VIP succeeded")
+	}
+	if _, ok := n.HostOf(netaddr.VIP(12345)); ok {
+		t.Fatal("HostOf of unknown VIP succeeded")
+	}
+}
+
+func TestAddVMOnGatewayPanics(t *testing.T) {
+	n := newNet(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic placing VM on gateway")
+		}
+	}()
+	n.AddVM(n.Topology().Gateways()[0])
+}
+
+func TestPlaceUniform(t *testing.T) {
+	n := newNet(t)
+	rng := rand.New(rand.NewSource(42))
+	vips := n.PlaceUniform(10240, rng)
+	if len(vips) != 10240 || n.NumVMs() != 10240 {
+		t.Fatalf("placed %d/%d VMs", len(vips), n.NumVMs())
+	}
+	// All VIPs unique.
+	seen := make(map[netaddr.VIP]bool)
+	for _, v := range vips {
+		if seen[v] {
+			t.Fatalf("duplicate VIP %v", v)
+		}
+		seen[v] = true
+	}
+	// No VM on a gateway; counts roughly uniform (128 servers, 80 each).
+	total := 0
+	for _, h := range n.Topology().Hosts {
+		vms := n.VMsAt(h.Idx)
+		total += len(vms)
+		if h.Gateway && len(vms) > 0 {
+			t.Fatalf("gateway host %d has VMs", h.Idx)
+		}
+		if !h.Gateway && (len(vms) < 30 || len(vms) > 150) {
+			t.Fatalf("server %d has %d VMs, badly unbalanced", h.Idx, len(vms))
+		}
+	}
+	if total != 10240 {
+		t.Fatalf("VMsAt totals %d", total)
+	}
+}
+
+func TestPlaceRoundRobin(t *testing.T) {
+	n := newNet(t)
+	n.PlaceRoundRobin(256) // 2 per server exactly
+	for _, s := range n.Topology().Servers() {
+		if got := len(n.VMsAt(s)); got != 2 {
+			t.Fatalf("server %d has %d VMs, want 2", s, got)
+		}
+	}
+}
+
+func TestMigrate(t *testing.T) {
+	n := newNet(t)
+	servers := n.Topology().Servers()
+	vip := n.AddVM(servers[0])
+	v0 := n.Version
+	if err := n.Migrate(vip, servers[5]); err != nil {
+		t.Fatal(err)
+	}
+	if n.Version <= v0 {
+		t.Fatal("Version not bumped by migration")
+	}
+	// Authoritative state updated.
+	if pip, _ := n.Lookup(vip); pip != n.Topology().Hosts[servers[5]].PIP {
+		t.Fatalf("Lookup after migrate = %v", pip)
+	}
+	if n.HostHasVM(servers[0], vip) || !n.HostHasVM(servers[5], vip) {
+		t.Fatal("HostHasVM not updated by migration")
+	}
+	if len(n.VMsAt(servers[0])) != 0 || len(n.VMsAt(servers[5])) != 1 {
+		t.Fatal("VMsAt not updated by migration")
+	}
+	// Follow-me installed at the old host only.
+	if p, ok := n.FollowMe(servers[0], vip); !ok || p != n.Topology().Hosts[servers[5]].PIP {
+		t.Fatalf("FollowMe = %v,%v", p, ok)
+	}
+	if _, ok := n.FollowMe(servers[5], vip); ok {
+		t.Fatal("FollowMe present at new host")
+	}
+}
+
+func TestMigrateErrors(t *testing.T) {
+	n := newNet(t)
+	servers := n.Topology().Servers()
+	if err := n.Migrate(netaddr.VIP(999), servers[0]); err == nil {
+		t.Fatal("migrating unknown VIP should fail")
+	}
+	vip := n.AddVM(servers[0])
+	if err := n.Migrate(vip, servers[0]); err == nil {
+		t.Fatal("migrating to same host should fail")
+	}
+	if err := n.Migrate(vip, n.Topology().Gateways()[0]); err == nil {
+		t.Fatal("migrating to gateway should fail")
+	}
+}
+
+func TestAllMappings(t *testing.T) {
+	n := newNet(t)
+	rng := rand.New(rand.NewSource(1))
+	vips := n.PlaceUniform(100, rng)
+	ms := n.AllMappings()
+	if len(ms) != 100 {
+		t.Fatalf("AllMappings = %d entries, want 100", len(ms))
+	}
+	byVIP := make(map[netaddr.VIP]netaddr.PIP, len(ms))
+	for _, m := range ms {
+		if !m.IsValid() {
+			t.Fatalf("invalid mapping %v", m)
+		}
+		byVIP[m.VIP] = m.PIP
+	}
+	for _, v := range vips {
+		want, _ := n.Lookup(v)
+		if byVIP[v] != want {
+			t.Fatalf("AllMappings[%v] = %v, want %v", v, byVIP[v], want)
+		}
+	}
+}

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# CI entry point: everything a reviewer needs to validate the repo.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+test -z "$(gofmt -l .)" || { gofmt -l .; echo "gofmt failures"; exit 1; }
+
+echo "== build =="
+go build ./...
+
+echo "== vet =="
+go vet ./...
+
+echo "== tests =="
+go test ./...
+
+echo "== race (hot packages) =="
+go test -race ./internal/eventq/ ./internal/core/ ./internal/simnet/ ./internal/transport/
+
+echo "== benches (one iteration each) =="
+go test -bench=. -benchmem -benchtime=1x -run=NONE ./...
+
+echo "CI OK"
