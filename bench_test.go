@@ -175,6 +175,25 @@ func BenchmarkControllerILP(b *testing.B) {
 	runBench(b, cfg)
 }
 
+// BenchmarkEngineEventsPerSec measures raw discrete-event throughput
+// via the telemetry profiling hooks (ProfileOnly leaves the sampler off,
+// so the measured loop is the plain simulation).
+func BenchmarkEngineEventsPerSec(b *testing.B) {
+	cfg := benchBase(switchv2p.SchemeSwitchV2P, "hadoop")
+	cfg.Telemetry = &switchv2p.TelemetryOptions{ProfileOnly: true}
+	var last *switchv2p.Report
+	for i := 0; i < b.N; i++ {
+		r, err := switchv2p.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	p := &last.Telemetry.Profile
+	b.ReportMetric(p.EventsPerSec(), "events/sec")
+	b.ReportMetric(float64(p.HeapHighWater), "heap-highwater")
+}
+
 // Ablation benches: toggle each SwitchV2P mechanism (DESIGN.md).
 func BenchmarkAblation(b *testing.B) {
 	off := false

@@ -26,6 +26,9 @@ type Scale struct {
 	FT16VMs   int
 	FT16Flows int
 	Seed      int64
+	// Workers > 1 runs sweep points through the harness worker pool
+	// (-parallel); output is identical at any worker count.
+	Workers int
 
 	MigrationPackets int
 	MigrationSenders int
@@ -61,6 +64,7 @@ func (sc Scale) baseConfig(traceName string) harness.Config {
 		MaxFlows:      sc.MaxFlows,
 		CacheFraction: 0.5,
 		Seed:          sc.Seed,
+		SweepWorkers:  sc.Workers,
 	}
 }
 

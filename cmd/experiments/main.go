@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 )
 
@@ -25,6 +26,7 @@ func main() {
 	exp := flag.String("exp", "all", "experiment id (table3, fig5a..fig5d, fig6..fig10, table4..table6, controller, ablation, all)")
 	scaleName := flag.String("scale", "standard", "quick | standard | full")
 	seed := flag.Int64("seed", 1, "random seed")
+	parallel := flag.Bool("parallel", false, "run sweep points on all CPUs (identical output, less wall clock)")
 	flag.StringVar(&csvDir, "csv", "", "also write plot-ready CSV files into this directory")
 	flag.Parse()
 
@@ -34,6 +36,9 @@ func main() {
 		os.Exit(2)
 	}
 	sc.Seed = *seed
+	if *parallel {
+		sc.Workers = runtime.NumCPU()
+	}
 
 	runners := []struct {
 		id  string

@@ -17,6 +17,7 @@ import (
 
 	"switchv2p/internal/harness"
 	"switchv2p/internal/simtime"
+	"switchv2p/internal/telemetry"
 	"switchv2p/internal/topology"
 	"switchv2p/internal/trace"
 )
@@ -34,6 +35,10 @@ func main() {
 		gateways = flag.Int("gateways", 0, "restrict to N gateways (0 = all)")
 		seed     = flag.Int64("seed", 1, "random seed")
 		wlFile   = flag.String("workload", "", "replay a workload file (from tracegen -o) instead of generating")
+
+		telem         = flag.Bool("telemetry", false, "collect time-series telemetry and engine profile")
+		telemOut      = flag.String("telemetry-out", "", "write telemetry to this file (.json or .csv); implies -telemetry")
+		telemInterval = flag.Duration("telemetry-interval", 0, "telemetry sampling period (simulated; 0 = default)")
 	)
 	flag.Parse()
 
@@ -63,6 +68,9 @@ func main() {
 		CacheFraction:  *cache,
 		ActiveGateways: *gateways,
 		Seed:           *seed,
+	}
+	if *telem || *telemOut != "" {
+		cfg.Telemetry = &telemetry.Options{Interval: simtime.FromStd(*telemInterval)}
 	}
 	switch *topoName {
 	case "ft8":
@@ -100,4 +108,29 @@ func main() {
 			r.CoreStats.PromoteInserted, r.CoreStats.PromoteAttached, r.InvalidationPkts)
 	}
 	fmt.Printf("wall time         %v\n", wall.Round(time.Millisecond))
+
+	if r.Telemetry != nil {
+		fmt.Printf("\n--- telemetry ---\n%s", r.Telemetry.Summary())
+		if *telemOut != "" {
+			if err := writeTelemetry(*telemOut, r.Telemetry); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("telemetry written to %s\n", *telemOut)
+		}
+	}
+}
+
+// writeTelemetry exports the collector by file extension: .csv gets the
+// wide timeline, anything else the full JSON document.
+func writeTelemetry(path string, tel *telemetry.Collector) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".csv") {
+		return tel.WriteCSV(f)
+	}
+	return tel.WriteJSON(f)
 }

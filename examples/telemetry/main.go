@@ -1,0 +1,118 @@
+// Telemetry: watch SwitchV2P warm up. The observability subsystem
+// samples every switch cache as the run progresses; plotting the ToR
+// hit-rate series shows the paper's core dynamic — caches start cold,
+// learn from passing traffic, and within tens of microseconds absorb
+// most translations that would otherwise hit the gateways. GwCache,
+// which only caches at gateway ToRs, plateaus far lower.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"switchv2p"
+)
+
+func run(scheme string) *switchv2p.Report {
+	cfg := switchv2p.Config{
+		VMs:           2048,
+		Scheme:        scheme,
+		TraceName:     "hadoop",
+		Duration:      switchv2p.Duration(400 * time.Microsecond),
+		MaxFlows:      2500,
+		CacheFraction: 0.5,
+		Seed:          11,
+		Telemetry: &switchv2p.TelemetryOptions{
+			Interval: switchv2p.Duration(10 * time.Microsecond),
+		},
+	}
+	r, err := switchv2p.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return r
+}
+
+// sparkline renders values as a compact unicode bar chart.
+func sparkline(values []float64) string {
+	bars := []rune("▁▂▃▄▅▆▇█")
+	var b strings.Builder
+	for _, v := range values {
+		i := int(v * float64(len(bars)-1))
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(bars) {
+			i = len(bars) - 1
+		}
+		b.WriteRune(bars[i])
+	}
+	return b.String()
+}
+
+func main() {
+	sv2p := run(switchv2p.SchemeSwitchV2P)
+	gw := run(switchv2p.SchemeGwCache)
+
+	fmt.Println("cache warm-up, sampled every 10µs (windowed ToR hit rate):")
+	fmt.Println()
+	for _, r := range []*switchv2p.Report{sv2p, gw} {
+		tor := r.Telemetry.Timeline.Find("cache.tor.hitrate")
+		if tor == nil {
+			log.Fatalf("%s: no ToR hit-rate series", r.Scheme)
+		}
+		peak := 0.0
+		for _, v := range tor.Values {
+			if v > peak {
+				peak = v
+			}
+		}
+		fmt.Printf("%-12s %s\n", r.Scheme, sparkline(tor.Values))
+		fmt.Printf("%-12s first window %.0f%%, peak window %.0f%%, overall hit rate %.1f%%\n",
+			"", 100*tor.Values[0], 100*peak, 100*r.HitRate)
+		fmt.Println()
+	}
+
+	fmt.Println("gateway offload over the same run (packets/sec into gateways):")
+	for _, r := range []*switchv2p.Report{sv2p, gw} {
+		s := r.Telemetry.Timeline.Find("gateway.pkts_per_sec")
+		max := 0.0
+		for _, v := range s.Values {
+			if v > max {
+				max = v
+			}
+		}
+		norm := make([]float64, len(s.Values))
+		if max > 0 {
+			for i, v := range s.Values {
+				norm[i] = v / max
+			}
+		}
+		fmt.Printf("%-12s %s (peak %.2fM pkts/sec)\n", r.Scheme, sparkline(norm), max/1e6)
+	}
+
+	fmt.Println()
+	fmt.Printf("engine: %s\n", sv2p.Telemetry.Profile.String())
+
+	// Full timeline to CSV for real plotting.
+	f, err := os.Create("telemetry.csv")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := sv2p.Telemetry.WriteCSV(f); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("full SwitchV2P timeline written to telemetry.csv")
+
+	fmt.Println()
+	fmt.Println("Every ToR learns from traffic it forwards, so SwitchV2P's")
+	fmt.Println("windowed hit rate climbs within the first sampling windows")
+	fmt.Println("and the gateway load curve decays sooner and peaks lower.")
+	fmt.Println("GwCache caches only at the gateway-side ToRs: packets still")
+	fmt.Println("detour to a gateway pod first, its overall hit rate lands")
+	fmt.Println("lower, and the gateway fleet absorbs a higher packet peak.")
+}

@@ -29,6 +29,9 @@ type MappingCache interface {
 	Len() int
 	// Used returns the number of occupied entries.
 	Used() int
+	// HitStats returns the cumulative lookup and hit counts (the
+	// telemetry sampler reads these as windowed per-switch hit rates).
+	HitStats() (lookups, hits int64)
 }
 
 var (
@@ -73,6 +76,9 @@ func (c *AssocCache) Len() int { return c.capacity }
 
 // Used implements MappingCache.
 func (c *AssocCache) Used() int { return c.ll.Len() }
+
+// HitStats implements MappingCache.
+func (c *AssocCache) HitStats() (lookups, hits int64) { return c.Lookups, c.Hits }
 
 // Lookup implements MappingCache.
 func (c *AssocCache) Lookup(vip netaddr.VIP) (netaddr.PIP, bool, bool) {

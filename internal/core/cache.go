@@ -164,6 +164,9 @@ func (c *Cache) Invalidate(vip netaddr.VIP, stalePIP netaddr.PIP) bool {
 	return false
 }
 
+// HitStats implements MappingCache.
+func (c *Cache) HitStats() (lookups, hits int64) { return c.Lookups, c.Hits }
+
 // HitRate returns hits/lookups, or 0 with no lookups.
 func (c *Cache) HitRate() float64 {
 	if c.Lookups == 0 {

@@ -82,6 +82,8 @@ type Stats struct {
 
 	HitsByLayer      [numLayers]int64 // all cache hits, by switch layer
 	FirstHitsByLayer [numLayers]int64 // hits by flows' first data packets
+	LookupsByLayer   [numLayers]int64 // all lookups, by switch layer
+	EvictionsByLayer [numLayers]int64 // valid entries displaced by insertions
 
 	LearningSent            int64 // learning packets generated
 	InvalidationsSent       int64 // invalidation packets generated
@@ -156,6 +158,11 @@ func New(topo *topology.Topology, opts Options) *Scheme {
 
 // Name implements simnet.Scheme.
 func (s *Scheme) Name() string { return "SwitchV2P" }
+
+// Stats returns the live protocol stats; the telemetry sampler reads
+// them as windowed rates while the simulation runs. (Promoted into the
+// baselines that embed *Scheme, e.g. GwCache and Hybrid.)
+func (s *Scheme) Stats() *Stats { return &s.S }
 
 // Cache exposes a switch's (single-tenant) cache for tests and
 // analysis; with tenancy enabled use TenantCache instead.
@@ -241,6 +248,7 @@ func (s *Scheme) SwitchArrive(e *simnet.Engine, sw int32, from topology.NodeRef,
 	hitWasAccessed := false
 	if !p.Resolved && cache.Len() > 0 {
 		s.S.Lookups++
+		s.S.LookupsByLayer[layerOf(role)]++
 		if pip, hit, was := cache.Lookup(p.DstVIP); hit && pip != p.StalePIP {
 			p.DstPIP = pip
 			p.Resolved = true
@@ -259,6 +267,7 @@ func (s *Scheme) SwitchArrive(e *simnet.Engine, sw int32, from topology.NodeRef,
 	if p.Promote.IsValid() && role == topology.RoleCore {
 		if res := cache.InsertIfClear(p.Promote); res.Inserted {
 			s.S.PromoteInserted++
+			s.noteEvict(role, res.Evicted)
 			s.spill(p, res.Evicted)
 		}
 		p.Promote = netaddr.Mapping{}
@@ -269,6 +278,7 @@ func (s *Scheme) SwitchArrive(e *simnet.Engine, sw int32, from topology.NodeRef,
 	if p.Spill.IsValid() && s.opts.Spillover && cache.Len() > 0 {
 		if res := cache.InsertIfClear(p.Spill); res.Inserted {
 			s.S.SpillInserted++
+			s.noteEvict(role, res.Evicted)
 			p.Spill = res.Evicted // cascade (usually zero)
 		}
 	}
@@ -279,6 +289,7 @@ func (s *Scheme) SwitchArrive(e *simnet.Engine, sw int32, from topology.NodeRef,
 		if p.Resolved {
 			m := netaddr.Mapping{VIP: p.DstVIP, PIP: p.DstPIP}
 			res := cache.Insert(m)
+			s.noteEvict(role, res.Evicted)
 			s.spill(p, res.Evicted)
 			if res.New && s.opts.LearningPackets && s.rng.Float64() < s.opts.PLearn {
 				// Skip senders attached to this very switch: their ToR is
@@ -296,11 +307,13 @@ func (s *Scheme) SwitchArrive(e *simnet.Engine, sw int32, from topology.NodeRef,
 	case topology.RoleToR:
 		if m := (netaddr.Mapping{VIP: p.SrcVIP, PIP: p.SrcPIP}); m.IsValid() {
 			res := cache.Insert(m)
+			s.noteEvict(role, res.Evicted)
 			s.spill(p, res.Evicted)
 		}
 	case topology.RoleSpine, topology.RoleGatewaySpine:
 		if p.Resolved {
 			res := cache.InsertIfClear(netaddr.Mapping{VIP: p.DstVIP, PIP: p.DstPIP})
+			s.noteEvict(role, res.Evicted)
 			s.spill(p, res.Evicted)
 		}
 	case topology.RoleCore:
@@ -320,6 +333,14 @@ func (s *Scheme) SwitchArrive(e *simnet.Engine, sw int32, from topology.NodeRef,
 	}
 
 	return true
+}
+
+// noteEvict counts a displaced valid entry toward the per-layer
+// eviction stats.
+func (s *Scheme) noteEvict(role topology.SwitchRole, evicted netaddr.Mapping) {
+	if evicted.IsValid() {
+		s.S.EvictionsByLayer[layerOf(role)]++
+	}
 }
 
 // spill attaches an evicted entry to the packet being processed if the

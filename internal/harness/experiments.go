@@ -2,11 +2,73 @@ package harness
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"switchv2p/internal/netaddr"
 	"switchv2p/internal/simtime"
 	"switchv2p/internal/trace"
 )
+
+// sweepWorkers returns the effective sweep concurrency from a Config.
+func (c Config) sweepWorkers() int {
+	if c.SweepWorkers > 1 {
+		return c.SweepWorkers
+	}
+	return 1
+}
+
+// runIndexed runs n independent jobs through a bounded worker pool,
+// returning the first error. Jobs are identified by index, so callers
+// store results into pre-sized slices and output order never depends on
+// scheduling. workers <= 1 degenerates to a plain serial loop.
+func runIndexed(workers, n int, job func(i int) error) error {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := job(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next     int64
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= n {
+					return
+				}
+				mu.Lock()
+				failed := firstErr != nil
+				mu.Unlock()
+				if failed {
+					return
+				}
+				if err := job(i); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
 
 // SweepPoint is one (scheme, cache size) measurement of a Fig. 5/6-style
 // sweep, with improvements normalized by the NoCache baseline as in the
@@ -26,6 +88,11 @@ type SweepPoint struct {
 // NoCache once as the normalization baseline, then every (scheme,
 // fraction) combination. Schemes without an in-network cache (NoCache,
 // OnDemand, Direct) are measured once at fraction 0.
+//
+// With base.SweepWorkers > 1 the points run through a bounded worker
+// pool. Every point is an independent simulation seeded only from its
+// own Config, so the returned series is identical — values and order —
+// at any worker count.
 func CacheSizeSweep(base Config, fractions []float64, schemes []string) ([]SweepPoint, error) {
 	baseCfg := base
 	baseCfg.Scheme = SchemeNoCache
@@ -36,11 +103,53 @@ func CacheSizeSweep(base Config, fractions []float64, schemes []string) ([]Sweep
 	ncFCT := nc.Summary.AvgFCT
 	ncFirst := nc.Summary.AvgFirstPacket
 
-	var out []SweepPoint
-	appendPoint := func(r *Report, frac float64) {
+	type job struct {
+		scheme  string
+		frac    float64
+		setFrac bool // cache schemes: override CacheFraction with frac
+		useNC   bool // reuse the NoCache baseline report
+	}
+	var jobs []job
+	for _, scheme := range schemes {
+		switch scheme {
+		case SchemeNoCache:
+			jobs = append(jobs, job{scheme: scheme, useNC: true})
+		case SchemeOnDemand, SchemeDirect:
+			jobs = append(jobs, job{scheme: scheme})
+		default:
+			for _, f := range fractions {
+				jobs = append(jobs, job{scheme: scheme, frac: f, setFrac: true})
+			}
+		}
+	}
+
+	reports := make([]*Report, len(jobs))
+	err = runIndexed(base.sweepWorkers(), len(jobs), func(i int) error {
+		if jobs[i].useNC {
+			reports[i] = nc
+			return nil
+		}
+		cfg := base
+		cfg.Scheme = jobs[i].scheme
+		if jobs[i].setFrac {
+			cfg.CacheFraction = jobs[i].frac
+		}
+		r, err := Run(cfg)
+		if err != nil {
+			return err
+		}
+		reports[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	out := make([]SweepPoint, 0, len(jobs))
+	for i, r := range reports {
 		p := SweepPoint{
 			Scheme:        r.Scheme,
-			CacheFraction: frac,
+			CacheFraction: jobs[i].frac,
 			HitRate:       r.HitRate,
 			FCT:           r.Summary.AvgFCT,
 			FirstPacket:   r.Summary.AvgFirstPacket,
@@ -52,30 +161,6 @@ func CacheSizeSweep(base Config, fractions []float64, schemes []string) ([]Sweep
 			p.FirstPktImprovement = float64(ncFirst) / float64(r.Summary.AvgFirstPacket)
 		}
 		out = append(out, p)
-	}
-
-	for _, scheme := range schemes {
-		cfg := base
-		cfg.Scheme = scheme
-		switch scheme {
-		case SchemeNoCache:
-			appendPoint(nc, 0)
-		case SchemeOnDemand, SchemeDirect:
-			r, err := Run(cfg)
-			if err != nil {
-				return nil, err
-			}
-			appendPoint(r, 0)
-		default:
-			for _, f := range fractions {
-				cfg.CacheFraction = f
-				r, err := Run(cfg)
-				if err != nil {
-					return nil, err
-				}
-				appendPoint(r, f)
-			}
-		}
 	}
 	return out, nil
 }
@@ -90,26 +175,39 @@ type GatewayPoint struct {
 }
 
 // GatewaySweep reproduces Fig. 9: performance as the number of deployed
-// gateways shrinks.
+// gateways shrinks. Points run concurrently when base.SweepWorkers > 1
+// (see CacheSizeSweep for the determinism argument).
 func GatewaySweep(base Config, gatewayCounts []int, schemes []string) ([]GatewayPoint, error) {
-	var out []GatewayPoint
+	type job struct {
+		scheme   string
+		gateways int
+	}
+	var jobs []job
 	for _, scheme := range schemes {
 		for _, n := range gatewayCounts {
-			cfg := base
-			cfg.Scheme = scheme
-			cfg.ActiveGateways = n
-			r, err := Run(cfg)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, GatewayPoint{
-				Scheme:      scheme,
-				Gateways:    n,
-				FCT:         r.Summary.AvgFCT,
-				FirstPacket: r.Summary.AvgFirstPacket,
-				Drops:       r.Drops,
-			})
+			jobs = append(jobs, job{scheme: scheme, gateways: n})
 		}
+	}
+	out := make([]GatewayPoint, len(jobs))
+	err := runIndexed(base.sweepWorkers(), len(jobs), func(i int) error {
+		cfg := base
+		cfg.Scheme = jobs[i].scheme
+		cfg.ActiveGateways = jobs[i].gateways
+		r, err := Run(cfg)
+		if err != nil {
+			return err
+		}
+		out[i] = GatewayPoint{
+			Scheme:      jobs[i].scheme,
+			Gateways:    jobs[i].gateways,
+			FCT:         r.Summary.AvgFCT,
+			FirstPacket: r.Summary.AvgFirstPacket,
+			Drops:       r.Drops,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -122,22 +220,36 @@ type TopologyPoint struct {
 }
 
 // TopologySweep reproduces Fig. 10: the FT8 topology rescaled from 1 to
-// 32 pods with a fixed server count.
+// 32 pods with a fixed server count. Points run concurrently when
+// base.SweepWorkers > 1; scaled must be safe to call from multiple
+// goroutines (the stock closures only assemble Config values).
 func TopologySweep(base Config, pods []int, schemes []string, scaled func(pods int) (Config, error)) ([]TopologyPoint, error) {
-	var out []TopologyPoint
+	type job struct {
+		scheme string
+		pods   int
+	}
+	var jobs []job
 	for _, scheme := range schemes {
 		for _, p := range pods {
-			cfg, err := scaled(p)
-			if err != nil {
-				return nil, err
-			}
-			cfg.Scheme = scheme
-			r, err := Run(cfg)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, TopologyPoint{Scheme: scheme, Pods: p, FCT: r.Summary.AvgFCT})
+			jobs = append(jobs, job{scheme: scheme, pods: p})
 		}
+	}
+	out := make([]TopologyPoint, len(jobs))
+	err := runIndexed(base.sweepWorkers(), len(jobs), func(i int) error {
+		cfg, err := scaled(jobs[i].pods)
+		if err != nil {
+			return err
+		}
+		cfg.Scheme = jobs[i].scheme
+		r, err := Run(cfg)
+		if err != nil {
+			return err
+		}
+		out[i] = TopologyPoint{Scheme: jobs[i].scheme, Pods: jobs[i].pods, FCT: r.Summary.AvgFCT}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -22,7 +22,10 @@ func writeAll(w *csv.Writer, rows [][]string) error {
 	return w.Error()
 }
 
-func f(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
+// f formats floats at fixed precision so re-exported CSVs diff cleanly:
+// 'g' switches between %e and %f by magnitude, which makes a value's
+// textual form depend on neighbours' scale and breaks byte comparisons.
+func f(v float64) string { return strconv.FormatFloat(v, 'f', 6, 64) }
 
 func us(d simtime.Duration) string { return f(d.Micros()) }
 
@@ -87,6 +90,16 @@ func WritePodBytesCSV(out io.Writer, reports []*Report) error {
 		rows = append(rows, row)
 	}
 	return writeAll(w, rows)
+}
+
+// WriteTelemetryCSV exports a report's telemetry timeline in wide form
+// (one column per series). It fails when the run was built without
+// telemetry or in profile-only mode, which records no timeline.
+func WriteTelemetryCSV(out io.Writer, r *Report) error {
+	if r.Telemetry == nil || r.Telemetry.ProfileOnly() {
+		return fmt.Errorf("harness: report has no telemetry timeline")
+	}
+	return r.Telemetry.Timeline.WriteCSV(out)
 }
 
 // WriteMigrationCSV exports Table 4-style migration results.

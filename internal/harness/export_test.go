@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"switchv2p/internal/simtime"
+	"switchv2p/internal/telemetry"
 )
 
 func parseCSV(t *testing.T, buf *bytes.Buffer) [][]string {
@@ -35,11 +36,11 @@ func TestWriteSweepCSV(t *testing.T) {
 	if len(rows) != 3 {
 		t.Fatalf("rows = %d", len(rows))
 	}
-	if rows[0][0] != "scheme" || rows[1][0] != "SwitchV2P" || rows[1][2] != "0.81" {
+	if rows[0][0] != "scheme" || rows[1][0] != "SwitchV2P" || rows[1][2] != "0.810000" {
 		t.Fatalf("unexpected rows: %v", rows[:2])
 	}
-	if rows[1][3] != "90" {
-		t.Fatalf("fct_us = %q, want 90", rows[1][3])
+	if rows[1][3] != "90.000000" {
+		t.Fatalf("fct_us = %q, want 90.000000", rows[1][3])
 	}
 }
 
@@ -50,7 +51,7 @@ func TestWriteGatewayAndTopologyCSV(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(buf.String(), "nocache,4,290,0,7") {
+	if !strings.Contains(buf.String(), "nocache,4,290.000000,0.000000,7") {
 		t.Fatalf("gateway csv: %q", buf.String())
 	}
 	buf.Reset()
@@ -59,7 +60,7 @@ func TestWriteGatewayAndTopologyCSV(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(buf.String(), "switchv2p,16,85") {
+	if !strings.Contains(buf.String(), "switchv2p,16,85.000000") {
 		t.Fatalf("topology csv: %q", buf.String())
 	}
 }
@@ -96,7 +97,52 @@ func TestWriteMigrationCSV(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(buf.String(), "SwitchV2P,0.1,17,605,271,22") {
+	if !strings.Contains(buf.String(), "SwitchV2P,0.100000,17.000000,605.000000,271,22") {
 		t.Fatalf("migration csv: %q", buf.String())
+	}
+}
+
+func TestWriteTelemetryCSV(t *testing.T) {
+	cfg := quickConfig(SchemeSwitchV2P)
+	cfg.Telemetry = &telemetry.Options{}
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTelemetryCSV(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, &buf)
+	if len(rows) < 3 {
+		t.Fatalf("timeline rows = %d, want several samples", len(rows))
+	}
+	if rows[0][0] != "time_us" {
+		t.Fatalf("header = %v", rows[0])
+	}
+	want := map[string]bool{"cache.hitrate": false, "gateway.pkts_per_sec": false}
+	for _, col := range rows[0] {
+		if _, ok := want[col]; ok {
+			want[col] = true
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Fatalf("series %q missing from header %v", name, rows[0])
+		}
+	}
+	for _, row := range rows[1:] {
+		if len(row) != len(rows[0]) {
+			t.Fatalf("ragged row %v", row)
+		}
+	}
+
+	// No telemetry (or profile-only) => explicit error, not an empty file.
+	plain, err := Run(quickConfig(SchemeSwitchV2P))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteTelemetryCSV(&buf, plain); err == nil {
+		t.Fatal("telemetry-less report accepted")
 	}
 }

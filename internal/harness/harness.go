@@ -14,6 +14,7 @@ import (
 	"switchv2p/internal/netaddr"
 	"switchv2p/internal/simnet"
 	"switchv2p/internal/simtime"
+	"switchv2p/internal/telemetry"
 	"switchv2p/internal/topology"
 	"switchv2p/internal/trace"
 	"switchv2p/internal/transport"
@@ -86,6 +87,21 @@ type Config struct {
 	// Horizon stops the simulation at a fixed time (0 = run to drain).
 	Horizon simtime.Time
 
+	// Telemetry enables the observability subsystem (internal/telemetry):
+	// engine profiling hooks plus an event-driven sampler that records
+	// per-switch cache occupancy/hit-rate, queue depth/drop, gateway
+	// load and protocol-rate time-series into Report.Telemetry.
+	// Strictly opt-in: nil leaves the simulation byte-identical to an
+	// uninstrumented run.
+	Telemetry *telemetry.Options
+
+	// SweepWorkers bounds how many simulations the sweep helpers
+	// (CacheSizeSweep, GatewaySweep, TopologySweep) run concurrently;
+	// 0 or 1 means serial. Every sweep point is an independent run
+	// seeded only from its own Config, so results and output order are
+	// identical at any worker count.
+	SweepWorkers int
+
 	Seed int64
 }
 
@@ -150,6 +166,10 @@ type Report struct {
 	// CoreStats is present for SwitchV2P runs (Table 5 attribution).
 	CoreStats *core.Stats
 
+	// Telemetry holds the run's collected observability data when
+	// Config.Telemetry was set; nil otherwise.
+	Telemetry *telemetry.Collector
+
 	// World exposes the built simulation for further inspection or
 	// additional phases (e.g. the migration experiment).
 	World *World
@@ -164,6 +184,9 @@ type World struct {
 	Scheme simnet.Scheme
 	VIPs   []netaddr.VIP
 	Cfg    Config
+
+	// Telem is the attached telemetry collector (nil when disabled).
+	Telem *telemetry.Collector
 }
 
 // totalCacheEntries converts the cache fraction into aggregate entries.
@@ -274,6 +297,9 @@ func Build(cfg Config) (*World, error) {
 		Topo: topo, Net: net, Engine: engine, Agent: agent,
 		Scheme: scheme, VIPs: vips, Cfg: cfg,
 	}
+	if cfg.Telemetry != nil {
+		w.attachTelemetry(*cfg.Telemetry)
+	}
 
 	workload := cfg.Workload
 	if workload == nil {
@@ -346,6 +372,7 @@ func (w *World) Report() *Report {
 		stats := s.Scheme.S
 		r.CoreStats = &stats
 	}
+	r.Telemetry = w.Telem
 	return r
 }
 

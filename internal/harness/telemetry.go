@@ -1,0 +1,105 @@
+package harness
+
+import (
+	"fmt"
+
+	"switchv2p/internal/core"
+	"switchv2p/internal/telemetry"
+)
+
+// cacheScheme is satisfied by SwitchV2P and by every baseline that
+// embeds *core.Scheme (GwCache, Hybrid): the telemetry sampler uses it
+// to probe per-switch cache occupancy and hit rates.
+type cacheScheme interface {
+	Cache(sw int32) core.MappingCache
+	Stats() *core.Stats
+}
+
+// attachTelemetry builds the run's collector and wires every probe and
+// counter handle: engine profiling hooks, per-switch queue and cache
+// series, gateway load series, protocol and transport packet rates.
+// All probes are pure observations — attaching telemetry never changes
+// a simulation result.
+func (w *World) attachTelemetry(opts telemetry.Options) {
+	tel := telemetry.New(opts)
+	w.Telem = tel
+	e := w.Engine
+	e.Prof = &tel.Profile
+
+	reg := tel.Registry
+	w.Agent.RetxCounter = reg.Counter("transport.retransmits")
+	w.Agent.RTOCounter = reg.Counter("transport.rtos")
+	e.BufGauge = reg.Gauge("net.switch_buffer_bytes")
+
+	if opts.ProfileOnly {
+		return
+	}
+	iv := tel.Interval
+	c := &e.C
+
+	// Network-wide series.
+	tel.AddProbe("net.inflight_pkts", func() float64 { return float64(e.InFlightPackets()) })
+	tel.AddProbe("net.drops_per_sec", telemetry.RateProbe(iv, func() int64 { return c.Drops }))
+	tel.AddProbe("proto.learning_per_sec", telemetry.RateProbe(iv, func() int64 { return c.LearningPkts }))
+	tel.AddProbe("proto.invalidation_per_sec", telemetry.RateProbe(iv, func() int64 { return c.InvalidationPkts }))
+	tel.AddProbe("transport.retx_per_sec", telemetry.RateProbe(iv, w.Agent.RetxCounter.Value))
+	tel.AddProbe("transport.rto_per_sec", telemetry.RateProbe(iv, w.Agent.RTOCounter.Value))
+
+	// Gateway load: aggregate plus one series per active gateway.
+	tel.AddProbe("gateway.pkts_per_sec", telemetry.RateProbe(iv, func() int64 { return c.GatewayPackets }))
+	tel.AddProbe("gateway.bytes_per_sec", telemetry.RateProbe(iv, func() int64 { return c.GatewayBytes }))
+	for _, g := range e.Gateways() {
+		tel.AddProbe(fmt.Sprintf("gw%d.pkts_per_sec", g),
+			telemetry.RateProbe(iv, func() int64 { return c.GatewayPktByHost[g] }))
+		tel.AddProbe(fmt.Sprintf("gw%d.bytes_per_sec", g),
+			telemetry.RateProbe(iv, func() int64 { return c.GatewayByteByHost[g] }))
+	}
+
+	// Per-switch queue series (shared-buffer depth and overflow drops).
+	for i := range w.Topo.Switches {
+		sw := int32(i)
+		tel.AddProbe(fmt.Sprintf("sw%d.queue_bytes", i),
+			func() float64 { return float64(e.BufferUsed(sw)) })
+		tel.AddProbe(fmt.Sprintf("sw%d.drops_per_sec", i),
+			telemetry.RateProbe(iv, func() int64 { return c.SwitchDrops[sw] }))
+	}
+
+	// Cache series, when the scheme exposes per-switch caches.
+	if cs, ok := w.Scheme.(cacheScheme); ok {
+		st := cs.Stats()
+		layers := []struct {
+			name string
+			l    int
+		}{{"tor", core.LayerToR}, {"spine", core.LayerSpine}, {"core", core.LayerCore}}
+		tel.AddProbe("cache.hitrate", telemetry.RatioProbe(
+			func() int64 { return st.Hits }, func() int64 { return st.Lookups }))
+		for _, ly := range layers {
+			tel.AddProbe("cache."+ly.name+".hitrate", telemetry.RatioProbe(
+				func() int64 { return st.HitsByLayer[ly.l] },
+				func() int64 { return st.LookupsByLayer[ly.l] }))
+			tel.AddProbe("cache."+ly.name+".evictions_per_sec", telemetry.RateProbe(iv,
+				func() int64 { return st.EvictionsByLayer[ly.l] }))
+		}
+		tel.AddProbe("cache.spill_inserted_per_sec", telemetry.RateProbe(iv,
+			func() int64 { return st.SpillInserted }))
+		tel.AddProbe("cache.promote_inserted_per_sec", telemetry.RateProbe(iv,
+			func() int64 { return st.PromoteInserted }))
+
+		capacity := int64(0)
+		for i := range w.Topo.Switches {
+			cache := cs.Cache(int32(i))
+			capacity += int64(cache.Len())
+			if cache.Len() == 0 {
+				continue // non-caching switch: no per-switch series
+			}
+			tel.AddProbe(fmt.Sprintf("sw%d.cache_used", i),
+				func() float64 { return float64(cache.Used()) })
+			tel.AddProbe(fmt.Sprintf("sw%d.cache_hitrate", i), telemetry.RatioProbe(
+				func() int64 { _, h := cache.HitStats(); return h },
+				func() int64 { l, _ := cache.HitStats(); return l }))
+		}
+		reg.Gauge("cache.capacity_entries").Set(capacity)
+	}
+
+	tel.Attach(e.Q)
+}

@@ -1,0 +1,147 @@
+package harness
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"switchv2p/internal/simtime"
+	"switchv2p/internal/telemetry"
+	"switchv2p/internal/topology"
+)
+
+// reportFingerprint flattens every simulation-visible Report field into a
+// comparable string. Telemetry and World are deliberately excluded: the
+// former only exists on instrumented runs, the latter holds pointers.
+func reportFingerprint(r *Report) string {
+	return fmt.Sprintf("%s|%+v|%v|%d|%d|%v|%d|%v|%v|%d|%v|%d|%d|%d|%v",
+		r.Scheme, r.Summary, r.HitRate, r.GatewayPackets, r.HostSent,
+		r.AvgStretch, r.TotalSwitchBytes, r.PerPodBytes, r.PerSwitchBytes,
+		r.Misdeliveries, r.LastMisdelivered, r.Drops, r.LearningPkts,
+		r.InvalidationPkts, r.AvgPacketLatency)
+}
+
+// TestTelemetryZeroPerturbation is the guard the tentpole promises:
+// attaching the collector must not change a single simulation result.
+func TestTelemetryZeroPerturbation(t *testing.T) {
+	for _, scheme := range []string{SchemeSwitchV2P, SchemeGwCache, SchemeNoCache} {
+		plain, err := Run(quickConfig(scheme))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := quickConfig(scheme)
+		cfg.Telemetry = &telemetry.Options{Interval: 5 * simtime.Microsecond}
+		instrumented, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := reportFingerprint(instrumented), reportFingerprint(plain); got != want {
+			t.Fatalf("%s: telemetry perturbed the run\nplain:        %s\ninstrumented: %s", scheme, want, got)
+		}
+		if instrumented.CoreStats != nil && !reflect.DeepEqual(instrumented.CoreStats, plain.CoreStats) {
+			t.Fatalf("%s: telemetry perturbed core stats", scheme)
+		}
+		if instrumented.Telemetry == nil || len(instrumented.Telemetry.Timeline.Times) == 0 {
+			t.Fatalf("%s: instrumented run collected no samples", scheme)
+		}
+		if plain.Telemetry != nil {
+			t.Fatalf("%s: plain run grew a collector", scheme)
+		}
+	}
+}
+
+// TestTelemetryProfileRun checks the engine profiling hooks: the profiled
+// event loop must dispatch the same simulation while recording throughput.
+func TestTelemetryProfileRun(t *testing.T) {
+	plain, err := Run(quickConfig(SchemeSwitchV2P))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := quickConfig(SchemeSwitchV2P)
+	cfg.Telemetry = &telemetry.Options{ProfileOnly: true}
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := reportFingerprint(r), reportFingerprint(plain); got != want {
+		t.Fatalf("profiled run diverged\nplain:    %s\nprofiled: %s", want, got)
+	}
+	p := &r.Telemetry.Profile
+	if p.Events == 0 || p.HeapHighWater == 0 || p.Wall <= 0 || p.SimEnd == 0 {
+		t.Fatalf("profile not populated: %+v", p)
+	}
+	if len(r.Telemetry.Timeline.Times) != 0 {
+		t.Fatal("profile-only run recorded timeline samples")
+	}
+}
+
+// TestSweepParallelDeterminism checks the satellite guarantee: sweeps run
+// through the worker pool export byte-identical CSV to serial runs.
+func TestSweepParallelDeterminism(t *testing.T) {
+	serial := quickConfig(SchemeSwitchV2P)
+	parallel := serial
+	parallel.SweepWorkers = runtime.NumCPU()
+	if parallel.SweepWorkers < 2 {
+		parallel.SweepWorkers = 2
+	}
+	schemes := []string{SchemeSwitchV2P, SchemeNoCache}
+
+	runBoth := func(name string, export func(Config) ([]byte, error)) {
+		t.Helper()
+		s, err := export(serial)
+		if err != nil {
+			t.Fatalf("%s serial: %v", name, err)
+		}
+		p, err := export(parallel)
+		if err != nil {
+			t.Fatalf("%s parallel: %v", name, err)
+		}
+		if !bytes.Equal(s, p) {
+			t.Fatalf("%s: parallel CSV differs from serial\nserial:\n%s\nparallel:\n%s", name, s, p)
+		}
+	}
+
+	runBoth("cache", func(cfg Config) ([]byte, error) {
+		pts, err := CacheSizeSweep(cfg, []float64{0.25, 1}, schemes)
+		if err != nil {
+			return nil, err
+		}
+		var buf bytes.Buffer
+		if err := WriteSweepCSV(&buf, pts); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	})
+	runBoth("gateway", func(cfg Config) ([]byte, error) {
+		pts, err := GatewaySweep(cfg, []int{4, 2}, schemes)
+		if err != nil {
+			return nil, err
+		}
+		var buf bytes.Buffer
+		if err := WriteGatewayCSV(&buf, pts); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	})
+	runBoth("topology", func(cfg Config) ([]byte, error) {
+		pts, err := TopologySweep(cfg, []int{4, 8}, schemes, func(pods int) (Config, error) {
+			c := cfg
+			topo, err := topology.ScaledFT8(pods)
+			if err != nil {
+				return c, err
+			}
+			c.Topo = topo
+			return c, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var buf bytes.Buffer
+		if err := WriteTopologyCSV(&buf, pts); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	})
+}

@@ -8,11 +8,13 @@ package simnet
 
 import (
 	"fmt"
+	"time"
 
 	"switchv2p/internal/eventq"
 	"switchv2p/internal/netaddr"
 	"switchv2p/internal/packet"
 	"switchv2p/internal/simtime"
+	"switchv2p/internal/telemetry"
 	"switchv2p/internal/topology"
 	"switchv2p/internal/vnet"
 )
@@ -48,10 +50,15 @@ func DefaultConfig() Config {
 type Counters struct {
 	SwitchPackets []int64 // per switch index
 	SwitchBytes   []int64 // per switch index
+	SwitchDrops   []int64 // shared-buffer overflow drops, per switch index
 
 	GatewayPackets int64 // packets processed by translation gateways
 	GatewayBytes   int64
-	HostSent       int64 // tenant packets emitted by hosts (excluding re-sends)
+	// GatewayPktByHost / GatewayByteByHost break the gateway load down
+	// per gateway instance (indexed by host; zero for non-gateways).
+	GatewayPktByHost  []int64
+	GatewayByteByHost []int64
+	HostSent          int64 // tenant packets emitted by hosts (excluding re-sends)
 
 	Delivered      int64 // tenant packets delivered to the right host
 	DeliveredBytes int64
@@ -87,6 +94,17 @@ type Engine struct {
 	// KindSwitch) or host (KindHost) — a capture point for tracing tools.
 	Tap func(at topology.NodeRef, p *packet.Packet)
 
+	// Prof, when non-nil, enables the engine profiling hooks: Run steps
+	// the queue manually, counting dispatched events, tracking the
+	// pending-event high-water mark and charging wall clock to the
+	// profile. Nil (the default) leaves the fast drain loop untouched.
+	Prof *telemetry.EngineProfile
+
+	// BufGauge, when non-nil, tracks switch shared-buffer occupancy on
+	// the enqueue hot path (peak bytes across all switches). A nil
+	// gauge costs one inlined nil check per enqueue.
+	BufGauge *telemetry.Gauge
+
 	swLink   map[[2]int32]*link // fabric links keyed by (from,to) switch index
 	hostUp   []*link            // host -> its ToR
 	hostDown []*link            // ToR -> host, indexed by host
@@ -107,6 +125,9 @@ func New(topo *topology.Topology, net *vnet.Net, scheme Scheme, cfg Config) *Eng
 	}
 	e.C.SwitchPackets = make([]int64, len(topo.Switches))
 	e.C.SwitchBytes = make([]int64, len(topo.Switches))
+	e.C.SwitchDrops = make([]int64, len(topo.Switches))
+	e.C.GatewayPktByHost = make([]int64, len(topo.Hosts))
+	e.C.GatewayByteByHost = make([]int64, len(topo.Hosts))
 	e.bufUsed = make([]int, len(topo.Switches))
 	e.hostUp = make([]*link, len(topo.Hosts))
 	e.hostDown = make([]*link, len(topo.Hosts))
@@ -161,7 +182,59 @@ func (e *Engine) addLink(from, to topology.NodeRef, class topology.LinkClass) {
 func (e *Engine) Now() simtime.Time { return e.Q.Now() }
 
 // Run dispatches events until the queue drains or the horizon passes.
-func (e *Engine) Run(horizon simtime.Time) { e.Q.Run(horizon) }
+// With a profile attached (Prof non-nil) it steps the queue through the
+// profiling hooks; the dispatch order — and therefore every simulation
+// result — is identical either way.
+func (e *Engine) Run(horizon simtime.Time) {
+	if e.Prof == nil {
+		e.Q.Run(horizon)
+		return
+	}
+	p := e.Prof
+	start := time.Now()
+	for {
+		t, ok := e.Q.PeekTime()
+		if !ok || t > horizon {
+			break
+		}
+		if d := e.Q.Len(); d > p.HeapHighWater {
+			p.HeapHighWater = d
+		}
+		e.Q.Step()
+		p.Events++
+	}
+	p.Wall += time.Since(start)
+	p.SimEnd = e.Q.Now()
+}
+
+// BufferUsed returns switch sw's shared-buffer occupancy in bytes
+// (a telemetry sampling accessor).
+func (e *Engine) BufferUsed(sw int32) int { return e.bufUsed[sw] }
+
+// InFlightPackets counts the packets currently queued or serializing on
+// every link (a telemetry sampling accessor; O(links), read-only).
+func (e *Engine) InFlightPackets() int {
+	n := 0
+	count := func(l *link) {
+		if l == nil {
+			return
+		}
+		n += len(l.queue) - l.head
+		if l.busy {
+			n++ // the packet being serialized has left the queue slice
+		}
+	}
+	for _, l := range e.hostUp {
+		count(l)
+	}
+	for _, l := range e.hostDown {
+		count(l)
+	}
+	for _, l := range e.swLink {
+		count(l)
+	}
+	return n
+}
 
 // Gateways returns the gateway host indices senders load-balance over
 // (restricted by Config.ActiveGateways).
@@ -323,6 +396,8 @@ func (e *Engine) hostArrive(host int32, p *packet.Packet) {
 func (e *Engine) gatewayProcess(host int32, p *packet.Packet) {
 	e.C.GatewayPackets++
 	e.C.GatewayBytes += int64(p.Size())
+	e.C.GatewayPktByHost[host]++
+	e.C.GatewayByteByHost[host] += int64(p.Size())
 	pip, ok := e.Net.Lookup(p.DstVIP)
 	if !ok {
 		e.C.GatewayUnknownVIP++

@@ -32,9 +32,11 @@ func (l *link) enqueue(p *packet.Packet) {
 	if l.fromSwitch >= 0 {
 		if l.e.bufUsed[l.fromSwitch]+size > l.e.Topo.Cfg.BufferBytes {
 			l.e.C.Drops++
+			l.e.C.SwitchDrops[l.fromSwitch]++
 			return
 		}
 		l.e.bufUsed[l.fromSwitch] += size
+		l.e.BufGauge.Set(int64(l.e.bufUsed[l.fromSwitch]))
 	}
 	l.queued += size
 	l.queue = append(l.queue, p)

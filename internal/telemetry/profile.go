@@ -1,0 +1,50 @@
+package telemetry
+
+import (
+	"fmt"
+	"time"
+
+	"switchv2p/internal/simtime"
+)
+
+// EngineProfile aggregates the engine-loop measurements the profiling
+// hooks collect: how many events the discrete-event loop dispatched,
+// how deep the pending-event heap got, and how much wall clock one
+// simulated second costs. The engine fills it in when a profile is
+// attached (simnet.Engine.Prof); repeated Run calls accumulate.
+type EngineProfile struct {
+	// Events is the number of events dispatched by the profiled run
+	// loop (including telemetry sampler ticks, if a sampler is active).
+	Events int64
+	// HeapHighWater is the largest pending-event count observed.
+	HeapHighWater int
+	// Wall is the wall-clock time spent inside the run loop.
+	Wall time.Duration
+	// SimEnd is the simulated instant at which the last run stopped.
+	SimEnd simtime.Time
+}
+
+// EventsPerSec returns the wall-clock event dispatch rate.
+func (p *EngineProfile) EventsPerSec() float64 {
+	if p == nil || p.Wall <= 0 {
+		return 0
+	}
+	return float64(p.Events) / p.Wall.Seconds()
+}
+
+// WallPerSimSecond returns how many wall-clock seconds one simulated
+// second costs (the simulator's slowdown factor).
+func (p *EngineProfile) WallPerSimSecond() float64 {
+	if p == nil || p.SimEnd <= 0 {
+		return 0
+	}
+	simSecs := float64(p.SimEnd) / float64(simtime.Second)
+	return p.Wall.Seconds() / simSecs
+}
+
+// String summarizes the profile in one line.
+func (p *EngineProfile) String() string {
+	return fmt.Sprintf("events=%d heapHW=%d wall=%v events/sec=%.0f wall-per-sim-sec=%.1f",
+		p.Events, p.HeapHighWater, p.Wall.Round(time.Microsecond),
+		p.EventsPerSec(), p.WallPerSimSecond())
+}

@@ -1,0 +1,191 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"switchv2p/internal/eventq"
+	"switchv2p/internal/simtime"
+)
+
+func TestNilHandlesAreNoOps(t *testing.T) {
+	var c *Counter
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Fatal("nil counter has a value")
+	}
+	var g *Gauge
+	g.Set(7)
+	if g.Value() != 0 || g.HighWater() != 0 {
+		t.Fatal("nil gauge has a value")
+	}
+	var r *Registry
+	if r.Counter("x") != nil || r.Gauge("x") != nil {
+		t.Fatal("nil registry handed out live handles")
+	}
+	if r.Counters() != nil || r.Gauges() != nil {
+		t.Fatal("nil registry exported values")
+	}
+	var p *EngineProfile
+	if p.EventsPerSec() != 0 || p.WallPerSimSecond() != 0 {
+		t.Fatal("nil profile reported rates")
+	}
+}
+
+func TestRegistryCreateOrGetAndSortedExport(t *testing.T) {
+	r := NewRegistry()
+	b := r.Counter("b")
+	b.Add(2)
+	if r.Counter("b") != b {
+		t.Fatal("second lookup returned a different counter")
+	}
+	r.Counter("a").Inc()
+	g := r.Gauge("depth")
+	g.Set(9)
+	g.Set(4)
+	if g.Value() != 4 || g.HighWater() != 9 {
+		t.Fatalf("gauge = %d/%d, want 4/9", g.Value(), g.HighWater())
+	}
+	cs := r.Counters()
+	if len(cs) != 2 || cs[0].Name != "a" || cs[1].Name != "b" || cs[1].Value != 2 {
+		t.Fatalf("counters = %+v", cs)
+	}
+	gs := r.Gauges()
+	if len(gs) != 1 || gs[0].HighWater != 9 {
+		t.Fatalf("gauges = %+v", gs)
+	}
+}
+
+func TestRateAndRatioProbes(t *testing.T) {
+	var cum int64
+	rate := RateProbe(simtime.Microsecond, func() int64 { return cum })
+	cum = 5
+	if got := rate(); got != 5e6 {
+		t.Fatalf("rate tick 1 = %g, want 5e6", got)
+	}
+	cum = 5 // no movement
+	if got := rate(); got != 0 {
+		t.Fatalf("rate tick 2 = %g, want 0", got)
+	}
+
+	var hits, lookups int64
+	ratio := RatioProbe(func() int64 { return hits }, func() int64 { return lookups })
+	hits, lookups = 3, 4
+	if got := ratio(); got != 0.75 {
+		t.Fatalf("ratio tick 1 = %g, want 0.75", got)
+	}
+	// Next window: no lookups at all must read 0, not NaN.
+	if got := ratio(); got != 0 {
+		t.Fatalf("ratio tick 2 = %g, want 0", got)
+	}
+}
+
+// TestSamplerFollowsQueue drives the sampler on a real event queue and
+// checks the two scheduling properties the collector documents: ticks
+// land every Interval while simulation events remain, and the sampler
+// never re-arms after the last real event drains.
+func TestSamplerFollowsQueue(t *testing.T) {
+	q := new(eventq.Queue)
+	c := New(Options{Interval: 2 * simtime.Microsecond})
+	var fired int64
+	c.AddProbe("fired", func() float64 { return float64(fired) })
+
+	last := simtime.Time(9 * simtime.Microsecond)
+	q.At(simtime.Time(simtime.Microsecond), func() { fired++ })
+	q.At(last, func() { fired++ })
+	c.Attach(q)
+
+	for q.Step() {
+	}
+	if q.Now() >= last+simtime.Time(2*c.Interval) {
+		t.Fatalf("sampler kept the queue alive until %v", q.Now())
+	}
+	times := c.Timeline.Times
+	if len(times) == 0 {
+		t.Fatal("no samples recorded")
+	}
+	for i, tm := range times {
+		want := simtime.Time((i + 1) * 2 * int(simtime.Microsecond))
+		if tm != want {
+			t.Fatalf("tick %d at %v, want %v", i, tm, want)
+		}
+	}
+	s := c.Timeline.Find("fired")
+	if s == nil || len(s.Values) != len(times) {
+		t.Fatalf("series fired: %+v", s)
+	}
+	if s.Values[0] != 1 || s.Values[len(s.Values)-1] != 2 {
+		t.Fatalf("fired values = %v", s.Values)
+	}
+	if c.Timeline.Find("missing") != nil {
+		t.Fatal("Find invented a series")
+	}
+}
+
+func TestProfileOnlySchedulesNothing(t *testing.T) {
+	q := new(eventq.Queue)
+	c := New(Options{ProfileOnly: true})
+	if !c.ProfileOnly() {
+		t.Fatal("ProfileOnly not reported")
+	}
+	c.Attach(q)
+	if q.Len() != 0 {
+		t.Fatal("profile-only collector scheduled a sampler event")
+	}
+}
+
+func TestWriteJSONAndCSV(t *testing.T) {
+	q := new(eventq.Queue)
+	c := New(Options{Interval: simtime.Microsecond})
+	c.AddProbe("load", func() float64 { return 1.5 })
+	c.Registry.Counter("pkts").Add(12)
+	c.Registry.Gauge("depth").Set(3)
+	c.Profile.Events = 100
+	q.At(simtime.Time(3*simtime.Microsecond), func() {})
+	c.Attach(q)
+	for q.Step() {
+	}
+
+	var buf bytes.Buffer
+	if err := c.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	for _, key := range []string{"interval_us", "times_us", "series", "counters", "gauges", "profile"} {
+		if _, ok := doc[key]; !ok {
+			t.Fatalf("JSON missing %q", key)
+		}
+	}
+
+	buf.Reset()
+	if err := c.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0][0] != "time_us" || rows[0][1] != "load" {
+		t.Fatalf("csv header = %v", rows[0])
+	}
+	if len(rows) != 1+len(c.Timeline.Times) {
+		t.Fatalf("csv rows = %d, want %d", len(rows), 1+len(c.Timeline.Times))
+	}
+	if rows[1][1] != "1.500000" {
+		t.Fatalf("csv value = %q, want fixed precision 1.500000", rows[1][1])
+	}
+
+	sum := c.Summary()
+	for _, frag := range []string{"pkts", "depth", "load", "events=100"} {
+		if !strings.Contains(sum, frag) {
+			t.Fatalf("summary missing %q:\n%s", frag, sum)
+		}
+	}
+}

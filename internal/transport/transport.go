@@ -17,6 +17,7 @@ import (
 	"switchv2p/internal/packet"
 	"switchv2p/internal/simnet"
 	"switchv2p/internal/simtime"
+	"switchv2p/internal/telemetry"
 )
 
 // Proto selects the transport protocol of a flow.
@@ -107,6 +108,13 @@ type Agent struct {
 	receivers map[uint64]*tcpReceiver
 	udp       map[uint64]*FlowRecord
 	Records   []*FlowRecord
+
+	// Telemetry handles, attached by the harness when telemetry is
+	// enabled. Nil handles are no-ops (see internal/telemetry), so the
+	// hot paths below increment unconditionally at zero cost when
+	// telemetry is off.
+	RetxCounter *telemetry.Counter // retransmitted segments
+	RTOCounter  *telemetry.Counter // retransmission-timer expirations
 }
 
 // New creates an agent and installs it as the engine's delivery handler.
@@ -271,6 +279,7 @@ func (s *tcpSender) transmit(seq int, retx bool) {
 	if retx {
 		s.retxed[seq] = true
 		s.rec.Retransmits++
+		s.a.RetxCounter.Inc()
 	}
 	s.a.e.HostSend(host, p)
 }
@@ -369,6 +378,7 @@ func (s *tcpSender) onRTO() {
 	if s.done {
 		return
 	}
+	s.a.RTOCounter.Inc()
 	s.retries++
 	if s.retries > s.a.cfg.MaxRetries {
 		s.done = true

@@ -15,8 +15,8 @@ go vet ./...
 echo "== tests =="
 go test ./...
 
-echo "== race (hot packages) =="
-go test -race ./internal/eventq/ ./internal/core/ ./internal/simnet/ ./internal/transport/
+echo "== race =="
+go test -race ./...
 
 echo "== benches (one iteration each) =="
 go test -bench=. -benchmem -benchtime=1x -run=NONE ./...

@@ -35,6 +35,7 @@ import (
 	"switchv2p/internal/harness"
 	"switchv2p/internal/p4model"
 	"switchv2p/internal/simtime"
+	"switchv2p/internal/telemetry"
 	"switchv2p/internal/topology"
 	"switchv2p/internal/trace"
 	"switchv2p/internal/transport"
@@ -75,6 +76,20 @@ type (
 	MigrationConfig = harness.MigrationConfig
 	// MigrationResult is one row of Table 4.
 	MigrationResult = harness.MigrationResult
+
+	// TelemetryOptions enables the observability subsystem on a run
+	// (set Config.Telemetry to a non-nil value).
+	TelemetryOptions = telemetry.Options
+	// TelemetryCollector holds a run's collected telemetry
+	// (Report.Telemetry).
+	TelemetryCollector = telemetry.Collector
+	// TelemetryTimeline is the sampled time-series data.
+	TelemetryTimeline = telemetry.Timeline
+	// TelemetrySeries is one named series within a timeline.
+	TelemetrySeries = telemetry.Series
+	// EngineProfile reports event-loop throughput (events/sec, heap
+	// depth, wall clock per simulated second).
+	EngineProfile = telemetry.EngineProfile
 
 	// Time is a simulated instant (nanoseconds since run start).
 	Time = simtime.Time
