@@ -19,7 +19,7 @@ func benchBase(scheme, traceName string) switchv2p.Config {
 		Scheme:        scheme,
 		TraceName:     traceName,
 		Load:          0.30,
-		Duration:      switchv2p.Duration(200 * time.Microsecond),
+		Duration:      switchv2p.FromStd(200 * time.Microsecond),
 		MaxFlows:      1000,
 		CacheFraction: 0.5,
 		Seed:          1,
@@ -171,7 +171,7 @@ func BenchmarkTable6P4Model(b *testing.B) {
 // (Appendix A.2) on WebSearch.
 func BenchmarkControllerILP(b *testing.B) {
 	cfg := benchBase(switchv2p.SchemeController, "websearch")
-	cfg.ControllerInterval = switchv2p.Duration(150 * time.Microsecond)
+	cfg.ControllerInterval = switchv2p.FromStd(150 * time.Microsecond)
 	runBench(b, cfg)
 }
 

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"bytes"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRepoIsClean is the acceptance smoke test: the whole module must
+// lint clean. Any new time.Now, global-rand, or unsorted-map-range
+// violation anywhere in the repo turns this test (and CI) red.
+func TestRepoIsClean(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"switchv2p/..."}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("v2plint found violations (exit %d):\n%s%s", code, stdout.String(), stderr.String())
+	}
+}
+
+func TestVersionProbe(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-V=full"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-V=full: exit %d", code)
+	}
+	f := strings.Fields(stdout.String())
+	// cmd/go's toolID parser requires "<name> version devel ... buildID=<id>".
+	if len(f) < 3 || f[1] != "version" || f[2] != "devel" || !strings.HasPrefix(f[len(f)-1], "buildID=") {
+		t.Fatalf("-V=full output not in cmd/go toolID format: %q", stdout.String())
+	}
+}
+
+func TestFlagsProbe(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-flags"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-flags: exit %d", code)
+	}
+	if strings.TrimSpace(stdout.String()) != "[]" {
+		t.Fatalf("-flags = %q, want []", stdout.String())
+	}
+}
+
+// TestVetToolProtocol builds the binary and runs it under the real
+// `go vet -vettool=` driver on a couple of simulation packages.
+func TestVetToolProtocol(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and runs go vet")
+	}
+	bin := filepath.Join(t.TempDir(), "v2plint")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building v2plint: %v\n%s", err, out)
+	}
+	vet := exec.Command("go", "vet", "-vettool="+bin,
+		"switchv2p/internal/simtime", "switchv2p/internal/eventq", "switchv2p/internal/vnet")
+	if out, err := vet.CombinedOutput(); err != nil {
+		t.Fatalf("go vet -vettool: %v\n%s", err, out)
+	}
+}

@@ -14,7 +14,7 @@ func ExampleRun() {
 		VMs:           512,
 		Scheme:        switchv2p.SchemeSwitchV2P,
 		TraceName:     "hadoop",
-		Duration:      switchv2p.Duration(100 * time.Microsecond),
+		Duration:      switchv2p.FromStd(100 * time.Microsecond),
 		MaxFlows:      100,
 		CacheFraction: 0.5,
 		Seed:          1,
@@ -37,7 +37,7 @@ func ExampleCacheSizeSweep() {
 	base := switchv2p.Config{
 		VMs:       512,
 		TraceName: "hadoop",
-		Duration:  switchv2p.Duration(100 * time.Microsecond),
+		Duration:  switchv2p.FromStd(100 * time.Microsecond),
 		MaxFlows:  100,
 		Seed:      1,
 	}

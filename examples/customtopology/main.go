@@ -25,7 +25,7 @@ func main() {
 		GatewaysPerPod: 4,
 		HostLinkBps:    25e9,
 		FabricLinkBps:  100e9,
-		LinkDelay:      switchv2p.Duration(time.Microsecond),
+		LinkDelay:      switchv2p.FromStd(time.Microsecond),
 		BufferBytes:    16 << 20,
 	}
 
@@ -35,7 +35,7 @@ func main() {
 		Scheme:        switchv2p.SchemeSwitchV2P,
 		TraceName:     "microbursts",
 		Load:          0.25,
-		Duration:      switchv2p.Duration(time.Millisecond),
+		Duration:      switchv2p.FromStd(time.Millisecond),
 		MaxFlows:      4000,
 		CacheFraction: 0.5,
 		Seed:          5,

@@ -15,7 +15,7 @@ func main() {
 	base := switchv2p.Config{
 		VMs:           2048,
 		TraceName:     "hadoop",
-		Duration:      switchv2p.Duration(400 * time.Microsecond),
+		Duration:      switchv2p.FromStd(400 * time.Microsecond),
 		MaxFlows:      2500,
 		CacheFraction: 0.5,
 		Seed:          11,

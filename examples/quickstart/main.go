@@ -16,7 +16,7 @@ func main() {
 		VMs:           2048,
 		TraceName:     "hadoop",
 		Load:          0.30,
-		Duration:      switchv2p.Duration(500 * time.Microsecond),
+		Duration:      switchv2p.FromStd(500 * time.Microsecond),
 		MaxFlows:      3000,
 		CacheFraction: 0.5, // aggregate in-network cache = 50% of the VIP space
 		Seed:          42,

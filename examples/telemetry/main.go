@@ -21,12 +21,12 @@ func run(scheme string) *switchv2p.Report {
 		VMs:           2048,
 		Scheme:        scheme,
 		TraceName:     "hadoop",
-		Duration:      switchv2p.Duration(400 * time.Microsecond),
+		Duration:      switchv2p.FromStd(400 * time.Microsecond),
 		MaxFlows:      2500,
 		CacheFraction: 0.5,
 		Seed:          11,
 		Telemetry: &switchv2p.TelemetryOptions{
-			Interval: switchv2p.Duration(10 * time.Microsecond),
+			Interval: switchv2p.FromStd(10 * time.Microsecond),
 		},
 	}
 	r, err := switchv2p.Run(cfg)

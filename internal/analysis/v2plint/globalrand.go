@@ -1,0 +1,54 @@
+package v2plint
+
+import (
+	"go/ast"
+)
+
+// GlobalRand forbids the package-level math/rand functions in non-test
+// code. The global generator is shared process state: two goroutines —
+// or the same goroutine reached in a different order — draw different
+// values, so two runs with the same Config seed can diverge. All
+// randomness must flow from an explicitly seeded *rand.Rand threaded
+// through Config (constructors like rand.New/rand.NewSource/rand.NewZipf
+// are the sanctioned way to build one and are exempt).
+var GlobalRand = &Analyzer{
+	Name: "globalrand",
+	Doc: "forbids package-level math/rand functions in non-test code; " +
+		"inject a seeded *rand.Rand instead",
+	Run: runGlobalRand,
+}
+
+// randConstructors build or feed an explicit generator and are allowed.
+var randConstructors = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+	// math/rand/v2 constructors, should the repo ever migrate.
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+func runGlobalRand(pass *Pass) {
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, pkgPath, ok := pkgFunc(pass.TypesInfo, sel)
+			if !ok || (pkgPath != "math/rand" && pkgPath != "math/rand/v2") {
+				return true
+			}
+			if randConstructors[fn.Name()] {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"rand.%s draws from the shared global generator; inject a seeded *rand.Rand (rand.New(rand.NewSource(seed)))",
+				fn.Name())
+			return true
+		})
+	}
+}

@@ -1,0 +1,12 @@
+package v2plint_test
+
+import (
+	"testing"
+
+	"switchv2p/internal/analysis/v2plint"
+	"switchv2p/internal/analysis/v2plint/analysistest"
+)
+
+func TestGlobalRand(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), v2plint.GlobalRand, "globalrand")
+}

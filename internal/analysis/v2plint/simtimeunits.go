@@ -1,0 +1,107 @@
+package v2plint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path"
+)
+
+// SimTimeUnits flags code mixing wall-clock time.Duration with the
+// simulated-time types from internal/simtime. Both are int64
+// nanoseconds underneath, so a bare conversion compiles and even
+// "works" — until someone changes a unit — and a direct binary
+// operation between them is a latent type error. Crossing the
+// wall/simulated boundary must go through the named converters:
+// simtime.FromStd(d) inbound and v.Std() outbound. The simtime package
+// itself (which implements those converters) is exempt.
+var SimTimeUnits = &Analyzer{
+	Name: "simtimeunits",
+	Doc: "flags arithmetic or bare conversions mixing time.Duration with " +
+		"simtime types; use simtime.FromStd and the Std methods",
+	Run: runSimTimeUnits,
+}
+
+var arithmeticOrCompare = map[token.Token]bool{
+	token.ADD: true, token.SUB: true, token.MUL: true, token.QUO: true,
+	token.REM: true, token.LSS: true, token.LEQ: true, token.GTR: true,
+	token.GEQ: true, token.EQL: true, token.NEQ: true,
+}
+
+func runSimTimeUnits(pass *Pass) {
+	if path.Base(pass.Pkg.Path()) == "simtime" {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				checkMixedBinary(pass, n)
+			case *ast.CallExpr:
+				checkBareConversion(pass, n)
+			}
+			return true
+		})
+	}
+}
+
+func checkMixedBinary(pass *Pass, b *ast.BinaryExpr) {
+	if !arithmeticOrCompare[b.Op] {
+		return
+	}
+	xt := pass.TypesInfo.TypeOf(b.X)
+	yt := pass.TypesInfo.TypeOf(b.Y)
+	if xt == nil || yt == nil {
+		return
+	}
+	if (isSimtimeType(xt) && isWallDuration(yt)) || (isWallDuration(xt) && isSimtimeType(yt)) {
+		pass.Reportf(b.OpPos,
+			"binary %s mixes simulated time (%s) with wall-clock time.Duration; convert explicitly with simtime.FromStd or .Std()",
+			b.Op, simtimeOperand(xt, yt))
+	}
+}
+
+// checkBareConversion flags T(x) conversions that silently reinterpret
+// a wall-clock duration as simulated time or vice versa.
+func checkBareConversion(pass *Pass, call *ast.CallExpr) {
+	if len(call.Args) != 1 {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return
+	}
+	target := tv.Type
+	src := pass.TypesInfo.TypeOf(call.Args[0])
+	if src == nil {
+		return
+	}
+	switch {
+	case isSimtimeType(target) && isWallDuration(src):
+		pass.Reportf(call.Pos(),
+			"bare conversion of wall-clock time.Duration into %s; use simtime.FromStd",
+			types.TypeString(target, nil))
+	case isWallDuration(target) && isSimtimeType(src):
+		pass.Reportf(call.Pos(),
+			"bare conversion of simulated %s into time.Duration; use its Std method",
+			types.TypeString(src, nil))
+	}
+}
+
+func isSimtimeType(t types.Type) bool { return namedFromPkg(t, "simtime") }
+
+func isWallDuration(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "time" && obj.Name() == "Duration"
+}
+
+func simtimeOperand(x, y types.Type) string {
+	if isSimtimeType(x) {
+		return types.TypeString(x, nil)
+	}
+	return types.TypeString(y, nil)
+}

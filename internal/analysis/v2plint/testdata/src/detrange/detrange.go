@@ -1,0 +1,116 @@
+package detrange
+
+import (
+	"fmt"
+	"sort"
+
+	"eventq"
+)
+
+// Flagging cases: the loop body feeds an ordering-sensitive sink.
+
+func appendValues(m map[string]int) []int {
+	var out []int
+	for _, v := range m { // want `nondeterministic iteration over map m feeds an append`
+		out = append(out, v)
+	}
+	return out
+}
+
+func printEntries(m map[string]int) {
+	for k, v := range m { // want `feeds fmt output`
+		fmt.Println(k, v)
+	}
+}
+
+func sumFloats(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m { // want `feeds a floating-point accumulation`
+		total += v
+	}
+	return total
+}
+
+func scheduleAll(q *eventq.Queue, m map[string]int64) {
+	for _, t := range m { // want `feeds event scheduling \(eventq\.At\)`
+		q.At(t, func() {})
+	}
+}
+
+func nestedSink(m map[string][]int) []int {
+	var out []int
+	for _, vs := range m { // want `feeds an append`
+		for _, v := range vs {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Non-flagging cases.
+
+// The canonical deterministic idiom: collect the keys, sort, iterate.
+func sortedIteration(m map[string]int) []int {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var out []int
+	for _, k := range keys {
+		out = append(out, m[k])
+	}
+	return out
+}
+
+// sort.Slice and helper functions whose name contains "sort" also
+// count as sorting the collected keys.
+func sortedViaSlice(m map[int]int) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+func sortKeysHelper(ks []int) {
+	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+}
+
+func sortedViaHelper(m map[int]int) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sortKeysHelper(keys)
+	return keys
+}
+
+// Ranging a slice is fine.
+func sliceRange(s []int) []int {
+	var out []int
+	for _, v := range s {
+		out = append(out, v)
+	}
+	return out
+}
+
+// A map range without an ordering-sensitive sink is fine.
+func countOnly(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// The escape hatch waives a finding.
+func waived(m map[string]int) []int {
+	var out []int
+	//v2plint:allow detrange order provably irrelevant here
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}

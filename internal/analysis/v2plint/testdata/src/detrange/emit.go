@@ -1,0 +1,20 @@
+package detrange
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"io"
+)
+
+func emitCSV(w *csv.Writer, m map[string]string) {
+	for k, v := range m { // want `feeds CSV output`
+		w.Write([]string{k, v})
+	}
+}
+
+func emitJSON(w io.Writer, m map[string]int) {
+	enc := json.NewEncoder(w)
+	for k := range m { // want `feeds JSON output`
+		enc.Encode(k)
+	}
+}

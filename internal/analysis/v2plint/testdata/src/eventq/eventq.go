@@ -1,0 +1,8 @@
+// Package eventq stubs the simulator's event queue so detrange
+// testdata can exercise the event-scheduling sink.
+package eventq
+
+type Queue struct{ n int }
+
+func (q *Queue) At(t int64, fn func())    { q.n++ }
+func (q *Queue) After(d int64, fn func()) { q.n++ }

@@ -1,0 +1,38 @@
+package globalrand
+
+import "math/rand"
+
+// Flagging cases: the package-level functions draw from the shared
+// global generator.
+
+func roll() int {
+	return rand.Intn(6) // want `rand\.Intn draws from the shared global generator`
+}
+
+func jitter() float64 {
+	return rand.Float64() // want `rand\.Float64 draws from the shared global generator`
+}
+
+func shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `rand\.Shuffle draws from the shared global generator`
+}
+
+// Non-flagging cases: constructing and using an explicit generator.
+
+func seeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+func draw(rng *rand.Rand) int {
+	return rng.Intn(6)
+}
+
+func zipf(rng *rand.Rand) *rand.Zipf {
+	return rand.NewZipf(rng, 1.3, 4, 100)
+}
+
+// The escape hatch waives a finding.
+func waived() int {
+	//v2plint:allow globalrand startup-only, order independent
+	return rand.Int()
+}

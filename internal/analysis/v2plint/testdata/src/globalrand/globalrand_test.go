@@ -1,0 +1,14 @@
+package globalrand
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Test files are exempt: global rand in a test cannot perturb a
+// simulation run.
+func TestGlobalRandAllowedInTests(t *testing.T) {
+	if rand.Intn(6) > 5 {
+		t.Fatal("impossible")
+	}
+}

@@ -1,0 +1,17 @@
+// Package simtime stubs the simulator's clock types (matched by
+// package-path base name) for the simtimeunits testdata.
+package simtime
+
+import "time"
+
+type Time int64
+
+type Duration int64
+
+// FromStd is the sanctioned wall-to-simulated conversion.
+func FromStd(d time.Duration) Duration { return Duration(d.Nanoseconds()) }
+
+// Std is the sanctioned simulated-to-wall conversion.
+func (d Duration) Std() time.Duration { return time.Duration(d) }
+
+func (t Time) Std() time.Duration { return time.Duration(t) }

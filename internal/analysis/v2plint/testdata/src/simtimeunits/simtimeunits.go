@@ -1,0 +1,65 @@
+package simtimeunits
+
+import (
+	"time"
+
+	"simtime"
+)
+
+// Flagging cases.
+
+func bareConversionIn(d time.Duration) simtime.Duration {
+	return simtime.Duration(d) // want `bare conversion of wall-clock time\.Duration into simtime\.Duration; use simtime\.FromStd`
+}
+
+func bareConversionInTime(d time.Duration) simtime.Time {
+	return simtime.Time(d) // want `bare conversion of wall-clock time\.Duration into simtime\.Time`
+}
+
+func bareConversionOut(d simtime.Duration) time.Duration {
+	return time.Duration(d) // want `bare conversion of simulated simtime\.Duration into time\.Duration; use its Std method`
+}
+
+func mixedArithmetic(sd simtime.Duration, d time.Duration) simtime.Duration {
+	return sd + simtime.Duration(d) // want `bare conversion of wall-clock time\.Duration`
+}
+
+func mixedBinary(sd simtime.Duration, d time.Duration) bool {
+	return sd > d // want `binary > mixes simulated time \(simtime\.Duration\) with wall-clock time\.Duration`
+}
+
+func mixedAdd(st simtime.Time, d time.Duration) {
+	_ = st + d // want `binary \+ mixes simulated time \(simtime\.Time\)`
+}
+
+// Non-flagging cases.
+
+func sanctionedIn(d time.Duration) simtime.Duration {
+	return simtime.FromStd(d)
+}
+
+func sanctionedOut(d simtime.Duration) time.Duration {
+	return d.Std()
+}
+
+func untypedConstant() simtime.Duration {
+	return simtime.Duration(1000) // plain numeric conversions are fine
+}
+
+func fromInt(n int64) simtime.Duration {
+	return simtime.Duration(n)
+}
+
+func pureSimArithmetic(a, b simtime.Duration) simtime.Duration {
+	return a + b
+}
+
+func pureWallArithmetic(a, b time.Duration) time.Duration {
+	return a + b
+}
+
+// The escape hatch waives a finding.
+func waived(d time.Duration) simtime.Duration {
+	//v2plint:allow simtimeunits boundary code audited by hand
+	return simtime.Duration(d)
+}

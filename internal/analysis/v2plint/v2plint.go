@@ -1,0 +1,258 @@
+// Package v2plint is the repo's custom determinism & correctness lint
+// suite. The entire evaluation pipeline rests on the simulator being
+// bit-for-bit deterministic: identical configs must yield identical
+// Reports at any sweep worker count. Go quietly undermines this — map
+// iteration order is randomized, global math/rand is shared process
+// state, and wall-clock reads leak into simulated time — so the
+// contract is machine-checked here rather than left to convention.
+//
+// The suite ships four analyzers:
+//
+//   - detrange: flags `range` over a map whose body feeds an
+//     ordering-sensitive sink (append, float accumulation, event
+//     scheduling, fmt/CSV/JSON emission) unless the keys are collected
+//     and sorted first.
+//   - wallclock: forbids time.Now/time.Since/time.Until in the
+//     simulation packages (simnet, core, transport, eventq, simtime).
+//   - globalrand: forbids package-level math/rand functions in
+//     non-test code; randomness must come from an injected seeded
+//     *rand.Rand.
+//   - simtimeunits: flags arithmetic or conversions mixing
+//     time.Duration with simtime types without going through the
+//     explicit simtime.FromStd / .Std() converters.
+//
+// A finding can be waived with a `//v2plint:allow <analyzer>` comment
+// on the offending line or the line directly above it, e.g. the
+// profiling hook in internal/simnet/engine.go that deliberately
+// measures host wall time.
+//
+// The framework mirrors the golang.org/x/tools/go/analysis API shape
+// (Analyzer, Pass, Diagnostic) but is self-contained on the standard
+// library, so the module needs no external dependencies. cmd/v2plint
+// is the multichecker driver; it also speaks the `go vet -vettool=`
+// unit-checker protocol.
+package v2plint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one lint check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //v2plint:allow annotations.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer checks.
+	Doc string
+	// Run performs the check over a single package, reporting findings
+	// through the pass.
+	Run func(*Pass)
+}
+
+// A Pass provides one analyzer with the parsed and type-checked
+// representation of a single package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one lint finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Analyzers returns the full v2plint suite in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{DetRange, WallClock, GlobalRand, SimTimeUnits}
+}
+
+// ByName returns the named analyzer, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// RunPackage runs the given analyzers over one type-checked package and
+// returns the findings that are not waived by //v2plint:allow
+// annotations, sorted by position.
+func RunPackage(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) []Diagnostic {
+	allows := collectAllows(fset, files)
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			report:    func(d Diagnostic) { diags = append(diags, d) },
+		}
+		a.Run(pass)
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if !allows.waives(fset.Position(d.Pos), d.Analyzer) {
+			kept = append(kept, d)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		pi, pj := fset.Position(kept[i].Pos), fset.Position(kept[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return kept[i].Analyzer < kept[j].Analyzer
+	})
+	return kept
+}
+
+// allowSet records //v2plint:allow annotations: file -> line -> waived
+// analyzer names.
+type allowSet map[string]map[int]map[string]bool
+
+// collectAllows scans the files' comments for `//v2plint:allow
+// name[,name...]` annotations (anything after the names is a free-form
+// reason and is ignored).
+func collectAllows(fset *token.FileSet, files []*ast.File) allowSet {
+	out := allowSet{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "v2plint:allow") {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, "v2plint:allow"))
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				lines := out[pos.Filename]
+				if lines == nil {
+					lines = map[int]map[string]bool{}
+					out[pos.Filename] = lines
+				}
+				names := lines[pos.Line]
+				if names == nil {
+					names = map[string]bool{}
+					lines[pos.Line] = names
+				}
+				for _, name := range strings.Split(fields[0], ",") {
+					names[strings.TrimSpace(name)] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// waives reports whether an annotation on the diagnostic's line, or the
+// line directly above it, waives the analyzer.
+func (s allowSet) waives(pos token.Position, analyzer string) bool {
+	lines := s[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		if names := lines[line]; names != nil && (names[analyzer] || names["all"]) {
+			return true
+		}
+	}
+	return false
+}
+
+// --- shared helpers ---
+
+// isTestFile reports whether the file is a _test.go file; globalrand
+// and friends exempt test code.
+func isTestFile(fset *token.FileSet, f *ast.File) bool {
+	return strings.HasSuffix(fset.Position(f.Pos()).Filename, "_test.go")
+}
+
+// pkgFunc resolves sel to a package-level function (no receiver) and
+// returns the function and its package path.
+func pkgFunc(info *types.Info, sel *ast.SelectorExpr) (*types.Func, string, bool) {
+	obj, ok := info.Uses[sel.Sel]
+	if !ok {
+		return nil, "", false
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return nil, "", false
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return nil, "", false
+	}
+	return fn, fn.Pkg().Path(), true
+}
+
+// methodRecvPkgBase resolves sel to a method and returns the method
+// name and the base element of the package path declaring the
+// receiver's named type.
+func methodRecvPkgBase(info *types.Info, sel *ast.SelectorExpr) (name, pkgBase string, ok bool) {
+	obj, found := info.Uses[sel.Sel]
+	if !found {
+		return "", "", false
+	}
+	fn, found := obj.(*types.Func)
+	if !found {
+		return "", "", false
+	}
+	sig, found := fn.Type().(*types.Signature)
+	if !found || sig.Recv() == nil {
+		return "", "", false
+	}
+	t := sig.Recv().Type()
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	named, found := t.(*types.Named)
+	if !found || named.Obj().Pkg() == nil {
+		return "", "", false
+	}
+	return fn.Name(), path.Base(named.Obj().Pkg().Path()), true
+}
+
+// namedFromPkg reports whether t is a named type declared in a package
+// whose import-path base element is pkgBase.
+func namedFromPkg(t types.Type, pkgBase string) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && path.Base(obj.Pkg().Path()) == pkgBase
+}

@@ -1,0 +1,61 @@
+package v2plint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+func TestByName(t *testing.T) {
+	for _, a := range Analyzers() {
+		if got := ByName(a.Name); got != a {
+			t.Errorf("ByName(%q) = %v, want %v", a.Name, got, a)
+		}
+	}
+	if got := ByName("nope"); got != nil {
+		t.Errorf("ByName(nope) = %v, want nil", got)
+	}
+}
+
+func TestCollectAllows(t *testing.T) {
+	src := `package p
+
+//v2plint:allow wallclock profiling hook
+func a() {}
+
+func b() int { return 0 } //v2plint:allow detrange,globalrand reason text
+
+//v2plint:allow all
+func c() {}
+
+// v2plint:allow simtimeunits spaced comment marker
+func d() {}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allows := collectAllows(fset, []*ast.File{f})
+	cases := []struct {
+		line     int
+		analyzer string
+		want     bool
+	}{
+		{3, "wallclock", true},  // annotation line itself
+		{4, "wallclock", true},  // line below the annotation
+		{5, "wallclock", false}, // two lines below
+		{6, "detrange", true},
+		{6, "globalrand", true},
+		{6, "wallclock", false},
+		{9, "detrange", true}, // "all" waives every analyzer
+		{12, "simtimeunits", true},
+	}
+	for _, c := range cases {
+		pos := token.Position{Filename: "p.go", Line: c.line}
+		if got := allows.waives(pos, c.analyzer); got != c.want {
+			t.Errorf("waives(line %d, %s) = %v, want %v", c.line, c.analyzer, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package v2plint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+)
+
+// This file implements the `go vet -vettool=` unit-checker protocol,
+// so cmd/v2plint can run under the standard vet driver as well as
+// standalone. For each package, cmd/go hands the tool a JSON config
+// file naming the source files and the export-data file of every
+// dependency; the tool type-checks the single package, reports
+// findings on stderr, and writes an (empty — v2plint exchanges no
+// facts) .vetx file for downstream packages.
+
+// vetConfig mirrors the JSON config cmd/go writes for vet tools (see
+// cmd/go/internal/work.vetConfig).
+type vetConfig struct {
+	ID         string
+	Compiler   string
+	Dir        string
+	ImportPath string
+	GoFiles    []string
+
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	Standard    map[string]bool
+	PackageVetx map[string]string
+	VetxOnly    bool
+	VetxOutput  string
+	GoVersion   string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// RunVetTool processes one vet unit-checker config file and returns
+// the process exit code: 0 clean, 1 tool error, 2 findings (mirroring
+// x/tools' unitchecker).
+func RunVetTool(cfgPath string, stderr io.Writer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "v2plint: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(stderr, "v2plint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+
+	// v2plint analyzers exchange no facts, but cmd/go caches and feeds
+	// the vetx file to dependent packages, so it must always exist.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintf(stderr, "v2plint: writing vetx: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	imp := exportDataImporter(fset, func(path string) string {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		return cfg.PackageFile[path]
+	})
+	lp, err := checkPackage(fset, imp, cfg.ImportPath, cfg.Dir, cfg.GoFiles)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(stderr, "v2plint: %v\n", err)
+		return 1
+	}
+
+	diags := RunPackage(lp.Fset, lp.Files, lp.Pkg, lp.Info, Analyzers())
+	for _, d := range diags {
+		fmt.Fprintf(stderr, "%s: %s: %s\n", lp.Fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}

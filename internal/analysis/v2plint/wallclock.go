@@ -1,0 +1,61 @@
+package v2plint
+
+import (
+	"go/ast"
+	"path"
+)
+
+// WallClock forbids reading the host's wall clock inside the
+// simulation packages. Simulated time is the eventq clock; a time.Now
+// that leaks into scheduling or results makes two identical runs
+// diverge. The profiling hook in internal/simnet/engine.go measures
+// wall time deliberately and carries a //v2plint:allow wallclock
+// annotation.
+var WallClock = &Analyzer{
+	Name: "wallclock",
+	Doc: "forbids time.Now/time.Since/time.Until in simulation packages " +
+		"(simnet, core, transport, eventq, simtime); use the simulated clock",
+	Run: runWallClock,
+}
+
+// simulationPkgs are the package-path base names under the determinism
+// contract: everything that runs between trace generation and the
+// Report must be driven purely by simulated time.
+var simulationPkgs = map[string]bool{
+	"simnet":    true,
+	"core":      true,
+	"transport": true,
+	"eventq":    true,
+	"simtime":   true,
+}
+
+var wallClockFuncs = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+}
+
+func runWallClock(pass *Pass) {
+	if !simulationPkgs[path.Base(pass.Pkg.Path())] {
+		return
+	}
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, pkgPath, ok := pkgFunc(pass.TypesInfo, sel)
+			if !ok || pkgPath != "time" || !wallClockFuncs[fn.Name()] {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"time.%s reads the wall clock inside simulation package %s; use the simulated clock (simtime/eventq)",
+				fn.Name(), path.Base(pass.Pkg.Path()))
+			return true
+		})
+	}
+}

@@ -1,0 +1,14 @@
+package v2plint_test
+
+import (
+	"testing"
+
+	"switchv2p/internal/analysis/v2plint"
+	"switchv2p/internal/analysis/v2plint/analysistest"
+)
+
+func TestWallClock(t *testing.T) {
+	// "simnet" is under the contract and carries the seeded
+	// violations; "other" is outside it and must stay silent.
+	analysistest.Run(t, analysistest.TestData(t), v2plint.WallClock, "simnet", "other")
+}

@@ -178,19 +178,24 @@ func (c *Controller) snapshotPairs(e *simnet.Engine) []pairDemand {
 		}
 	}
 	c.counts = make(map[pairKey]int64)
-	out := make([]pairDemand, 0, len(agg))
-	for _, d := range agg {
-		out = append(out, *d)
+	keys := make([][2]int64, 0, len(agg))
+	for key := range agg {
+		keys = append(keys, key)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].count != out[j].count {
-			return out[i].count > out[j].count
+	sort.Slice(keys, func(i, j int) bool {
+		di, dj := agg[keys[i]], agg[keys[j]]
+		if di.count != dj.count {
+			return di.count > dj.count
 		}
-		if out[i].srcToR != out[j].srcToR {
-			return out[i].srcToR < out[j].srcToR
+		if di.srcToR != dj.srcToR {
+			return di.srcToR < dj.srcToR
 		}
-		return out[i].dst < out[j].dst
+		return di.dst < dj.dst
 	})
+	out := make([]pairDemand, 0, len(keys))
+	for _, key := range keys {
+		out = append(out, *agg[key])
+	}
 	return out
 }
 
@@ -253,8 +258,15 @@ func (c *Controller) placeExact(e *simnet.Engine, pairs []pairDemand) []map[neta
 		p.Obj[i] = float64(d.count) * c.saving(e, d, d.srcToR)
 		perToR[d.srcToR] = append(perToR[d.srcToR], ilp.Term{Var: i, Coeff: 1})
 	}
-	for _, terms := range perToR {
-		p.Constraints = append(p.Constraints, ilp.Constraint{Terms: terms, Bound: float64(c.LinesPerSwitch)})
+	// Constraint order steers the solver's branching and tie-breaking,
+	// so emit rows in sorted ToR order, never map order.
+	tors := make([]int32, 0, len(perToR))
+	for tor := range perToR {
+		tors = append(tors, tor)
+	}
+	sort.Slice(tors, func(i, j int) bool { return tors[i] < tors[j] })
+	for _, tor := range tors {
+		p.Constraints = append(p.Constraints, ilp.Constraint{Terms: perToR[tor], Bound: float64(c.LinesPerSwitch)})
 	}
 	sol, err := ilp.Solve(p, ilp.Options{MaxNodes: 200_000})
 	if err != nil {
@@ -313,8 +325,18 @@ func (c *Controller) placeGreedy(e *simnet.Engine, pairs []pairDemand) []map[net
 		k moveKey
 		g float64
 	}
-	heap := make([]scored, 0, len(covers))
+	moveKeys := make([]moveKey, 0, len(covers))
 	for k := range covers {
+		moveKeys = append(moveKeys, k)
+	}
+	sort.Slice(moveKeys, func(i, j int) bool {
+		if moveKeys[i].s != moveKeys[j].s {
+			return moveKeys[i].s < moveKeys[j].s
+		}
+		return moveKeys[i].dst < moveKeys[j].dst
+	})
+	heap := make([]scored, 0, len(moveKeys))
+	for _, k := range moveKeys {
 		heap = append(heap, scored{k, gain(k)})
 	}
 	sort.Slice(heap, func(i, j int) bool {

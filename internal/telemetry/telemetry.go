@@ -136,11 +136,15 @@ func (r *Registry) Counters() []CounterValue {
 	if r == nil {
 		return nil
 	}
-	out := make([]CounterValue, 0, len(r.counters))
-	for name, c := range r.counters {
-		out = append(out, CounterValue{Name: name, Value: c.Value()})
+	names := make([]string, 0, len(r.counters))
+	for name := range r.counters {
+		names = append(names, name)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	sort.Strings(names)
+	out := make([]CounterValue, 0, len(names))
+	for _, name := range names {
+		out = append(out, CounterValue{Name: name, Value: r.counters[name].Value()})
+	}
 	return out
 }
 
@@ -149,10 +153,15 @@ func (r *Registry) Gauges() []GaugeValue {
 	if r == nil {
 		return nil
 	}
-	out := make([]GaugeValue, 0, len(r.gauges))
-	for name, g := range r.gauges {
+	names := make([]string, 0, len(r.gauges))
+	for name := range r.gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]GaugeValue, 0, len(names))
+	for _, name := range names {
+		g := r.gauges[name]
 		out = append(out, GaugeValue{Name: name, Value: g.Value(), HighWater: g.HighWater()})
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/csv"
 	"encoding/json"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -57,6 +58,39 @@ func TestRegistryCreateOrGetAndSortedExport(t *testing.T) {
 	gs := r.Gauges()
 	if len(gs) != 1 || gs[0].HighWater != 9 {
 		t.Fatalf("gauges = %+v", gs)
+	}
+}
+
+// The registry snapshots iterate internal maps; regression for the
+// v2plint detrange finding: output must be name-sorted and identical
+// across calls regardless of insertion order or Go's randomized map
+// iteration.
+func TestSnapshotsStableAcrossRuns(t *testing.T) {
+	r := NewRegistry()
+	names := []string{"q", "b", "z", "a", "m", "x", "c", "y", "k", "d"}
+	for i, name := range names {
+		r.Counter(name).Add(int64(i))
+		r.Gauge(name).Set(int64(i * 2))
+	}
+	cs, gs := r.Counters(), r.Gauges()
+	if len(cs) != len(names) || len(gs) != len(names) {
+		t.Fatalf("got %d counters, %d gauges, want %d", len(cs), len(gs), len(names))
+	}
+	for i := 1; i < len(cs); i++ {
+		if cs[i-1].Name >= cs[i].Name {
+			t.Fatalf("counters not sorted at %d: %q >= %q", i, cs[i-1].Name, cs[i].Name)
+		}
+		if gs[i-1].Name >= gs[i].Name {
+			t.Fatalf("gauges not sorted at %d: %q >= %q", i, gs[i-1].Name, gs[i].Name)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		if cs2 := r.Counters(); !reflect.DeepEqual(cs2, cs) {
+			t.Fatalf("Counters changed between calls:\n%v\n%v", cs, cs2)
+		}
+		if gs2 := r.Gauges(); !reflect.DeepEqual(gs2, gs) {
+			t.Fatalf("Gauges changed between calls:\n%v\n%v", gs, gs2)
+		}
 	}
 }
 

@@ -1,0 +1,54 @@
+package vnet
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// The snapshot accessors iterate internal maps; they must return the
+// same slice contents on every call (and therefore across runs), never
+// leak Go's randomized map order.
+
+func TestAllMappingsStableOrder(t *testing.T) {
+	n := newNet(t)
+	rng := rand.New(rand.NewSource(7))
+	n.PlaceUniform(64, rng)
+	first := n.AllMappings()
+	for i := 0; i < 10; i++ {
+		if got := n.AllMappings(); !reflect.DeepEqual(got, first) {
+			t.Fatalf("AllMappings changed between calls:\n%v\n%v", first, got)
+		}
+	}
+	for i := 1; i < len(first); i++ {
+		if first[i-1].VIP >= first[i].VIP {
+			t.Fatalf("AllMappings not in VIP order at %d: %v >= %v", i, first[i-1].VIP, first[i].VIP)
+		}
+	}
+}
+
+func TestTenantVMsStableOrder(t *testing.T) {
+	n := newNet(t)
+	servers := n.Topology().Servers()
+	for i := 0; i < 48; i++ {
+		if _, err := n.AddVMForTenant(servers[i%len(servers)], TenantID(i%3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for tenant := TenantID(0); tenant < 3; tenant++ {
+		first := n.TenantVMs(tenant)
+		if len(first) == 0 {
+			t.Fatalf("tenant %d has no VMs", tenant)
+		}
+		for i := 0; i < 10; i++ {
+			if got := n.TenantVMs(tenant); !reflect.DeepEqual(got, first) {
+				t.Fatalf("TenantVMs(%d) changed between calls:\n%v\n%v", tenant, first, got)
+			}
+		}
+		for i := 1; i < len(first); i++ {
+			if first[i-1] >= first[i] {
+				t.Fatalf("TenantVMs(%d) not in VIP order at %d", tenant, i)
+			}
+		}
+	}
+}

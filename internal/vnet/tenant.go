@@ -38,9 +38,14 @@ func (n *Net) TenantOf(vip netaddr.VIP) TenantID {
 // TenantVMs returns all VIPs belonging to the given tenant, in creation
 // order. For tenant 0 this enumerates VMs never assigned to a tenant.
 func (n *Net) TenantVMs(tenant TenantID) []netaddr.VIP {
+	hosts := make([]int32, 0, len(n.vmsAt))
+	for h := range n.vmsAt {
+		hosts = append(hosts, h)
+	}
+	sortHosts(hosts)
 	var out []netaddr.VIP
-	for _, vms := range n.vmsAt {
-		for _, vip := range vms {
+	for _, h := range hosts {
+		for _, vip := range n.vmsAt[h] {
 			if n.tenantOf[vip] == tenant {
 				out = append(out, vip)
 			}
@@ -48,6 +53,14 @@ func (n *Net) TenantVMs(tenant TenantID) []netaddr.VIP {
 	}
 	sortVIPs(out)
 	return out
+}
+
+func sortHosts(h []int32) {
+	for i := 1; i < len(h); i++ {
+		for j := i; j > 0 && h[j] < h[j-1]; j-- {
+			h[j], h[j-1] = h[j-1], h[j]
+		}
+	}
 }
 
 func sortVIPs(v []netaddr.VIP) {

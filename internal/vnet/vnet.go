@@ -155,12 +155,17 @@ func (n *Net) FollowMe(oldHost int32, vip netaddr.VIP) (netaddr.PIP, bool) {
 	return p, ok
 }
 
-// AllMappings returns a snapshot of every VIP->PIP mapping; Direct-style
-// host-driven schemes preprogram hosts from this.
+// AllMappings returns a snapshot of every VIP->PIP mapping in VIP
+// order; Direct-style host-driven schemes preprogram hosts from this.
 func (n *Net) AllMappings() []netaddr.Mapping {
-	out := make([]netaddr.Mapping, 0, len(n.hostOf))
-	for vip, h := range n.hostOf {
-		out = append(out, netaddr.Mapping{VIP: vip, PIP: n.topo.Hosts[h].PIP})
+	vips := make([]netaddr.VIP, 0, len(n.hostOf))
+	for vip := range n.hostOf {
+		vips = append(vips, vip)
+	}
+	sortVIPs(vips)
+	out := make([]netaddr.Mapping, 0, len(vips))
+	for _, vip := range vips {
+		out = append(out, netaddr.Mapping{VIP: vip, PIP: n.topo.Hosts[n.hostOf[vip]].PIP})
 	}
 	return out
 }

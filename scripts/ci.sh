@@ -12,6 +12,23 @@ go build ./...
 echo "== vet =="
 go vet ./...
 
+echo "== v2plint (determinism lint) =="
+go run ./cmd/v2plint ./...
+
+echo "== staticcheck =="
+if command -v staticcheck >/dev/null 2>&1; then
+  staticcheck ./...
+else
+  echo "WARNING: staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"
+fi
+
+echo "== govulncheck =="
+if command -v govulncheck >/dev/null 2>&1; then
+  govulncheck ./...
+else
+  echo "WARNING: govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"
+fi
+
 echo "== tests =="
 go test ./...
 

@@ -32,6 +32,8 @@
 package switchv2p
 
 import (
+	"time"
+
 	"switchv2p/internal/harness"
 	"switchv2p/internal/p4model"
 	"switchv2p/internal/simtime"
@@ -96,6 +98,12 @@ type (
 	// Duration is a simulated time span.
 	Duration = simtime.Duration
 )
+
+// FromStd converts a wall-clock time.Duration into a simulated
+// Duration. This is the only sanctioned crossing from wall-clock to
+// simulated time units; bare Duration(d) conversions are rejected by
+// the v2plint simtimeunits analyzer.
+func FromStd(d time.Duration) Duration { return simtime.FromStd(d) }
 
 // Scheme names accepted in Config.Scheme.
 const (

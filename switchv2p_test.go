@@ -12,7 +12,7 @@ func apiConfig(scheme string) switchv2p.Config {
 		VMs:           512,
 		Scheme:        scheme,
 		TraceName:     "hadoop",
-		Duration:      switchv2p.Duration(150 * time.Microsecond),
+		Duration:      switchv2p.FromStd(150 * time.Microsecond),
 		MaxFlows:      200,
 		CacheFraction: 0.5,
 		Seed:          2,
