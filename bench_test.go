@@ -177,11 +177,14 @@ func BenchmarkControllerILP(b *testing.B) {
 
 // BenchmarkEngineEventsPerSec measures raw discrete-event throughput
 // via the telemetry profiling hooks (ProfileOnly leaves the sampler off,
-// so the measured loop is the plain simulation).
+// so the measured loop is the plain simulation). The allocs/event metric
+// tracks the pooled typed-event hot path: protocol logic still
+// allocates (packets, flows), but per-hop link events must not.
 func BenchmarkEngineEventsPerSec(b *testing.B) {
 	cfg := benchBase(switchv2p.SchemeSwitchV2P, "hadoop")
 	cfg.Telemetry = &switchv2p.TelemetryOptions{ProfileOnly: true}
 	var last *switchv2p.Report
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r, err := switchv2p.Run(cfg)
 		if err != nil {
@@ -192,6 +195,7 @@ func BenchmarkEngineEventsPerSec(b *testing.B) {
 	p := &last.Telemetry.Profile
 	b.ReportMetric(p.EventsPerSec(), "events/sec")
 	b.ReportMetric(float64(p.HeapHighWater), "heap-highwater")
+	b.ReportMetric(p.AllocsPerEvent(), "allocs/event")
 }
 
 // Ablation benches: toggle each SwitchV2P mechanism (DESIGN.md).

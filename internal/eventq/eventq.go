@@ -10,10 +10,25 @@ import "switchv2p/internal/simtime"
 // Event is a callback scheduled to run at a simulated instant.
 type Event func()
 
+// Timed is the typed-event fast path: a pre-bound event record whose
+// Fire method runs when its instant arrives. Schedulers on hot paths
+// implement Timed with a reusable (pooled) record instead of capturing
+// state in a fresh closure per event — storing a pointer-typed Timed in
+// the queue allocates nothing. Closure events and typed events share one
+// insertion-order sequence, so interleaving the two kinds preserves
+// same-instant FIFO stability.
+type Timed interface {
+	// Fire runs the event. The queue has already released its reference
+	// to the record when Fire is called, so Fire may recycle or
+	// reschedule the same record immediately.
+	Fire()
+}
+
 type item struct {
 	at  simtime.Time
-	seq uint64 // tie-breaker: insertion order
-	fn  Event
+	seq uint64 // tie-breaker: insertion order, shared by both event kinds
+	fn  Event  // exactly one of fn / ev is set
+	ev  Timed
 }
 
 // Queue is a min-heap of events ordered by (time, insertion order).
@@ -48,6 +63,23 @@ func (q *Queue) After(d simtime.Duration, fn Event) {
 	q.At(q.now.Add(d), fn)
 }
 
+// AtTimed schedules the pre-bound event record ev to fire at instant t.
+// It is the allocation-free counterpart of At: the record is stored in
+// the heap by reference, and ownership passes to the queue until Fire.
+func (q *Queue) AtTimed(t simtime.Time, ev Timed) {
+	if t < q.now {
+		panic("eventq: scheduling event in the past")
+	}
+	q.seq++
+	q.heap = append(q.heap, item{at: t, seq: q.seq, ev: ev})
+	q.up(len(q.heap) - 1)
+}
+
+// AfterTimed schedules ev to fire d after the current instant.
+func (q *Queue) AfterTimed(d simtime.Duration, ev Timed) {
+	q.AtTimed(q.now.Add(d), ev)
+}
+
 // Step dispatches the earliest pending event, advancing the clock to its
 // timestamp. It reports whether an event was dispatched.
 func (q *Queue) Step() bool {
@@ -57,13 +89,17 @@ func (q *Queue) Step() bool {
 	it := q.heap[0]
 	n := len(q.heap) - 1
 	q.heap[0] = q.heap[n]
-	q.heap[n] = item{} // release the closure for GC
+	q.heap[n] = item{} // release the closure / record for GC
 	q.heap = q.heap[:n]
 	if n > 0 {
 		q.down(0)
 	}
 	q.now = it.at
-	it.fn()
+	if it.ev != nil {
+		it.ev.Fire()
+	} else {
+		it.fn()
+	}
 	return true
 }
 

@@ -1,0 +1,46 @@
+package harness
+
+import (
+	"reflect"
+	"testing"
+
+	"switchv2p/internal/telemetry"
+)
+
+// TestEventPathsByteIdenticalFullScenario is the tentpole's determinism
+// guard at full-system scale: a standard SwitchV2P run (real trace, real
+// transport, telemetry sampling on) must produce byte-identical engine
+// Counters, report fingerprints, and telemetry counter/gauge snapshots
+// whether the links schedule pooled typed-event records (the default) or
+// the legacy per-event closures.
+func TestEventPathsByteIdenticalFullScenario(t *testing.T) {
+	run := func(closures bool) (*Report, []telemetry.CounterValue, []telemetry.GaugeValue) {
+		t.Helper()
+		cfg := quickConfig(SchemeSwitchV2P)
+		cfg.Telemetry = &telemetry.Options{}
+		w, err := Build(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.Engine.ClosureEvents = closures
+		w.Engine.Run(w.Cfg.Horizon)
+		return w.Report(), w.Telem.Registry.Counters(), w.Telem.Registry.Gauges()
+	}
+
+	typedR, typedC, typedG := run(false)
+	closureR, closureC, closureG := run(true)
+
+	if !reflect.DeepEqual(typedR.World.Engine.C, closureR.World.Engine.C) {
+		t.Fatalf("engine counters diverge between event paths:\ntyped:   %+v\nclosure: %+v",
+			typedR.World.Engine.C, closureR.World.Engine.C)
+	}
+	if got, want := reportFingerprint(typedR), reportFingerprint(closureR); got != want {
+		t.Fatalf("reports diverge between event paths:\ntyped:   %s\nclosure: %s", got, want)
+	}
+	if !reflect.DeepEqual(typedC, closureC) {
+		t.Fatalf("telemetry counter snapshots diverge:\ntyped:   %+v\nclosure: %+v", typedC, closureC)
+	}
+	if !reflect.DeepEqual(typedG, closureG) {
+		t.Fatalf("telemetry gauge snapshots diverge:\ntyped:   %+v\nclosure: %+v", typedG, closureG)
+	}
+}

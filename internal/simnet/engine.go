@@ -8,6 +8,7 @@ package simnet
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"switchv2p/internal/eventq"
@@ -101,14 +102,29 @@ type Engine struct {
 	Prof *telemetry.EngineProfile
 
 	// BufGauge, when non-nil, tracks switch shared-buffer occupancy on
-	// the enqueue hot path (peak bytes across all switches). A nil
-	// gauge costs one inlined nil check per enqueue.
+	// the enqueue and dequeue hot paths (its high-water mark is the peak
+	// bytes across all switches; its instantaneous value is the occupancy
+	// of the last-touched switch buffer, falling back to zero as a run
+	// drains). A nil gauge costs one inlined nil check per buffer update.
 	BufGauge *telemetry.Gauge
 
-	swLink   map[[2]int32]*link // fabric links keyed by (from,to) switch index
-	hostUp   []*link            // host -> its ToR
-	hostDown []*link            // ToR -> host, indexed by host
-	bufUsed  []int              // shared-buffer occupancy per switch
+	// ClosureEvents switches the link layer back to the legacy
+	// closure-per-event scheduling path instead of pooled typed-event
+	// records. Both paths dispatch in the same order and produce
+	// byte-identical results (guard-tested); the closure path exists only
+	// as the reference for that guard. Set it before the first packet is
+	// sent and never mid-run.
+	ClosureEvents bool
+
+	// Fabric adjacency, built once in New so the forwarding hot path
+	// never touches a map: swNbr[s] holds the egress links from switch s
+	// to each neighboring switch, in edge order; swOrd[s][t] is the dense
+	// ordinal of neighbor t in swNbr[s], or -1 when s-t is not an edge.
+	swNbr    [][]*link
+	swOrd    [][]int32
+	hostUp   []*link // host -> its ToR
+	hostDown []*link // ToR -> host, indexed by host
+	bufUsed  []int   // shared-buffer occupancy per switch
 
 	gateways []int32 // host indices senders may load-balance over
 	nextUID  uint64
@@ -131,7 +147,15 @@ func New(topo *topology.Topology, net *vnet.Net, scheme Scheme, cfg Config) *Eng
 	e.bufUsed = make([]int, len(topo.Switches))
 	e.hostUp = make([]*link, len(topo.Hosts))
 	e.hostDown = make([]*link, len(topo.Hosts))
-	e.swLink = make(map[[2]int32]*link, 2*len(topo.Edges))
+	e.swNbr = make([][]*link, len(topo.Switches))
+	e.swOrd = make([][]int32, len(topo.Switches))
+	for i := range e.swOrd {
+		ord := make([]int32, len(topo.Switches))
+		for j := range ord {
+			ord[j] = -1
+		}
+		e.swOrd[i] = ord
+	}
 
 	for _, edge := range topo.Edges {
 		e.addLink(edge.A, edge.B, edge.Class)
@@ -174,7 +198,8 @@ func (e *Engine) addLink(from, to topology.NodeRef, class topology.LinkClass) {
 	} else if to.Kind == topology.KindHost {
 		e.hostDown[to.Idx] = l
 	} else {
-		e.swLink[[2]int32{from.Idx, to.Idx}] = l
+		e.swOrd[from.Idx][to.Idx] = int32(len(e.swNbr[from.Idx]))
+		e.swNbr[from.Idx] = append(e.swNbr[from.Idx], l)
 	}
 }
 
@@ -194,6 +219,9 @@ func (e *Engine) Run(horizon simtime.Time) {
 	// The profiling hook deliberately measures host wall time; it never
 	// feeds back into simulated time or results.
 	start := time.Now() //v2plint:allow wallclock profiling hook
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	mallocs := ms.Mallocs
 
 	for {
 		t, ok := e.Q.PeekTime()
@@ -206,6 +234,8 @@ func (e *Engine) Run(horizon simtime.Time) {
 		e.Q.Step()
 		p.Events++
 	}
+	runtime.ReadMemStats(&ms)
+	p.Mallocs += ms.Mallocs - mallocs
 	p.Wall += time.Since(start) //v2plint:allow wallclock profiling hook
 	p.SimEnd = e.Q.Now()
 }
@@ -214,27 +244,27 @@ func (e *Engine) Run(horizon simtime.Time) {
 // (a telemetry sampling accessor).
 func (e *Engine) BufferUsed(sw int32) int { return e.bufUsed[sw] }
 
-// InFlightPackets counts the packets currently queued or serializing on
-// every link (a telemetry sampling accessor; O(links), read-only).
+// InFlightPackets counts the packets currently in the network on every
+// link: queued behind the serializer, being serialized, or in
+// propagation flight toward the far end (a packet counts from the
+// instant its link accepts it until the instant it is handed to the next
+// node). A telemetry sampling accessor; O(links), read-only.
 func (e *Engine) InFlightPackets() int {
 	n := 0
-	count := func(l *link) {
-		if l == nil {
-			return
-		}
-		n += len(l.queue) - l.head
-		if l.busy {
-			n++ // the packet being serialized has left the queue slice
-		}
-	}
 	for _, l := range e.hostUp {
-		count(l)
+		if l != nil {
+			n += l.inFlight
+		}
 	}
 	for _, l := range e.hostDown {
-		count(l)
+		if l != nil {
+			n += l.inFlight
+		}
 	}
-	for _, l := range e.swLink {
-		count(l)
+	for _, nbrs := range e.swNbr {
+		for _, l := range nbrs {
+			n += l.inFlight
+		}
 	}
 	return n
 }
@@ -244,8 +274,16 @@ func (e *Engine) InFlightPackets() int {
 func (e *Engine) Gateways() []int32 { return e.gateways }
 
 // GatewayFor picks the translation gateway a sender uses for a flow:
-// per-flow load balancing across the active gateway instances.
+// per-flow load balancing across the active gateway instances. It panics
+// with a descriptive message on a topology built without gateway hosts
+// (rather than a bare divide-by-zero): schemes that resolve through
+// gateways cannot run on such a topology.
 func (e *Engine) GatewayFor(src netaddr.PIP, flowID uint64) netaddr.PIP {
+	if len(e.gateways) == 0 {
+		panic("simnet: GatewayFor on a topology with no gateway hosts " +
+			"(topology.Config.GatewayPods/GatewaysPerPod are empty; " +
+			"use a gateway-free scheme or configure gateways)")
+	}
 	g := e.gateways[netaddr.FlowHash(src, 0, flowID)%uint32(len(e.gateways))]
 	return e.Topo.Hosts[g].PIP
 }
@@ -352,7 +390,7 @@ func (e *Engine) ecmpForward(sw, dstSw int32, p *packet.Packet) {
 		h := netaddr.FlowHash(p.SrcPIP, p.DstPIP, p.FlowID^(uint64(sw)*0x9e3779b1))
 		next = hops[h%uint32(len(hops))]
 	}
-	e.swLink[[2]int32{sw, next}].enqueue(p)
+	e.swNbr[sw][e.swOrd[sw][next]].enqueue(p)
 }
 
 // hostArrive processes a packet reaching a host NIC: gateway processing

@@ -1,0 +1,300 @@
+package simnet
+
+// Hot-path guards for the allocation-free event model: steady-state
+// alloc-freedom of the link serializer and fabric forwarding, the
+// typed-vs-closure determinism guard, and regression tests for the
+// switch-buffer gauge, gateway-less topologies, and in-flight
+// accounting.
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"switchv2p/internal/eventq"
+	"switchv2p/internal/packet"
+	"switchv2p/internal/simtime"
+	"switchv2p/internal/telemetry"
+	"switchv2p/internal/topology"
+	"switchv2p/internal/vnet"
+)
+
+// bareLink builds a host-egress link wired to a throwaway engine, with
+// delivery going nowhere: the pure serializer, nothing downstream.
+func bareLink() (*Engine, *link) {
+	e := &Engine{Q: &eventq.Queue{}}
+	l := &link{
+		e:          e,
+		bps:        100_000_000_000,
+		delay:      simtime.Microsecond,
+		fromSwitch: -1,
+		deliver:    func(p *packet.Packet) {},
+	}
+	return e, l
+}
+
+// TestLinkSerializerSteadyStateAllocFree is the acceptance guard: once
+// the event heap, the egress queue, and the freelist are warm, pushing a
+// packet through serialization and propagation allocates nothing.
+func TestLinkSerializerSteadyStateAllocFree(t *testing.T) {
+	e, l := bareLink()
+	p := packet.NewData(1, 0, 1000, 1, 2, 3)
+	// Warm up: grows the heap backing array, the queue slice, and the
+	// freelist to their steady-state sizes.
+	for i := 0; i < 8; i++ {
+		l.enqueue(p)
+		e.Q.Run(simtime.Never)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		l.enqueue(p)
+		e.Q.Run(simtime.Never)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state serializer path allocates %v per packet, want 0", allocs)
+	}
+}
+
+// TestSwitchLinkSteadyStateAllocFree covers the switch-egress variant:
+// shared-buffer accounting and the (nil) buffer gauge must stay on the
+// allocation-free path too.
+func TestSwitchLinkSteadyStateAllocFree(t *testing.T) {
+	f := newFixture(t, gwScheme{})
+	l := f.e.swNbr[0][0]
+	l.deliver = func(p *packet.Packet) {} // cut off downstream hops
+	p := packet.NewData(1, 0, 1000, 1, 2, 3)
+	for i := 0; i < 8; i++ {
+		l.enqueue(p)
+		f.e.Q.Run(simtime.Never)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		l.enqueue(p)
+		f.e.Q.Run(simtime.Never)
+	})
+	if allocs != 0 {
+		t.Fatalf("switch-egress serializer path allocates %v per packet, want 0", allocs)
+	}
+}
+
+// TestEcmpForwardSteadyStateAllocFree pushes a resolved packet from a
+// ToR across the fabric to delivery: the whole forwarding chain — ECMP
+// next-hop selection, adjacency lookup, every hop's serializer — must be
+// allocation-free once warm.
+func TestEcmpForwardSteadyStateAllocFree(t *testing.T) {
+	f := newFixture(t, gwScheme{})
+	src, dst := f.vips[0], f.vips[200] // distinct pods: full fabric path
+	pip, _ := f.net.Lookup(dst)
+	p := packet.NewData(7, 0, 1000, src, dst, 0)
+	p.DstPIP = pip
+	p.Resolved = true
+	p.SentAt = simtime.Time(1)
+	sw := f.e.Topo.Hosts[f.hostOf(src)].ToR
+	dstToR := f.e.Topo.Hosts[f.hostOf(dst)].ToR
+	for i := 0; i < 8; i++ {
+		f.e.ecmpForward(sw, dstToR, p)
+		f.e.Q.Run(simtime.Never)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		f.e.ecmpForward(sw, dstToR, p)
+		f.e.Q.Run(simtime.Never)
+	})
+	if allocs != 0 {
+		t.Fatalf("fabric forward path allocates %v per packet, want 0", allocs)
+	}
+}
+
+// runScenario drives the standard engine scenario (the determinism
+// test's random pair workload) on either event path and returns the
+// final counters plus the buffer gauge.
+func runScenario(t *testing.T, closures bool) (Counters, *telemetry.Gauge) {
+	t.Helper()
+	f := newFixture(t, gwScheme{})
+	f.e.ClosureEvents = closures
+	g := &telemetry.Gauge{}
+	f.e.BufGauge = g
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		src := f.vips[rng.Intn(len(f.vips))]
+		dst := f.vips[rng.Intn(len(f.vips))]
+		if src == dst {
+			continue
+		}
+		f.e.HostSend(f.hostOf(src), packet.NewData(uint64(i), 0, 500, src, dst, 0))
+	}
+	f.e.Run(simtime.Never)
+	return f.e.C, g
+}
+
+// TestTypedAndClosurePathsByteIdentical is the engine-level determinism
+// guard: the pooled typed-event path and the legacy closure path must
+// produce byte-identical Counters (every field, compared structurally)
+// and identical buffer-gauge readings.
+func TestTypedAndClosurePathsByteIdentical(t *testing.T) {
+	typedC, typedG := runScenario(t, false)
+	closureC, closureG := runScenario(t, true)
+	if !reflect.DeepEqual(typedC, closureC) {
+		t.Fatalf("counters diverge between event paths:\ntyped:   %+v\nclosure: %+v", typedC, closureC)
+	}
+	if typedG.Value() != closureG.Value() || typedG.HighWater() != closureG.HighWater() {
+		t.Fatalf("buffer gauge diverges: typed %d/%d, closure %d/%d",
+			typedG.Value(), typedG.HighWater(), closureG.Value(), closureG.HighWater())
+	}
+}
+
+// TestBufGaugeDrainsToZero is the dequeue-update regression test: after
+// a run drains, the gauge's instantaneous value must fall back to zero
+// (it used to stay at the last-enqueue occupancy forever) while the
+// high-water mark keeps the peak.
+func TestBufGaugeDrainsToZero(t *testing.T) {
+	f := newFixture(t, gwScheme{})
+	g := &telemetry.Gauge{}
+	f.e.BufGauge = g
+	src, dst := f.vips[0], f.vips[10]
+	pip, _ := f.net.Lookup(dst)
+	for i := 0; i < 20; i++ {
+		p := packet.NewData(1, i, 1400, src, dst, 0)
+		p.DstPIP = pip
+		p.Resolved = true
+		f.e.HostSend(f.hostOf(src), p)
+	}
+	f.e.Run(simtime.Never)
+	if g.HighWater() == 0 {
+		t.Fatal("buffer gauge never observed occupancy")
+	}
+	if g.Value() != 0 {
+		t.Fatalf("buffer gauge reads %d after drain, want 0 (high water %d)",
+			g.Value(), g.HighWater())
+	}
+}
+
+// TestGatewayForNoGatewaysPanics checks the divide-by-zero fix: on a
+// topology without gateway hosts, GatewayFor must fail loudly with a
+// descriptive message instead of an anonymous integer divide panic.
+func TestGatewayForNoGatewaysPanics(t *testing.T) {
+	cfg := topology.FT8()
+	cfg.GatewayPods = nil
+	cfg.GatewaysPerPod = 0
+	topo, err := topology.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := vnet.New(topo)
+	n.PlaceRoundRobin(64)
+	e := New(topo, n, gwScheme{}, DefaultConfig())
+	if got := len(e.Gateways()); got != 0 {
+		t.Fatalf("gateway-less topology reports %d gateways", got)
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("GatewayFor on a gateway-less topology did not panic")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "no gateway hosts") {
+			t.Fatalf("panic message %v not descriptive", r)
+		}
+	}()
+	e.GatewayFor(1, 1)
+}
+
+// TestInFlightPacketsCountsPropagation pins the repaired semantics: a
+// packet counts as in flight from link acceptance until it reaches the
+// next node, including the propagation window after serialization ends
+// (previously missed between serializer completion and delivery).
+func TestInFlightPacketsCountsPropagation(t *testing.T) {
+	f := newFixture(t, gwScheme{})
+	src, dst := f.vips[0], f.vips[10]
+	pip, _ := f.net.Lookup(dst)
+	p := packet.NewData(1, 0, 1000, src, dst, 0)
+	p.DstPIP = pip
+	p.Resolved = true
+	f.e.HostSend(f.hostOf(src), p)
+	if got := f.e.InFlightPackets(); got != 1 {
+		t.Fatalf("in flight after send = %d, want 1 (serializing)", got)
+	}
+	// One step dispatches the serializer-completion event: the packet is
+	// now purely in propagation flight toward the ToR — the window the
+	// old queue-length accounting missed.
+	if !f.e.Q.Step() {
+		t.Fatal("no event pending")
+	}
+	if got := f.e.InFlightPackets(); got != 1 {
+		t.Fatalf("in flight during propagation = %d, want 1", got)
+	}
+	f.e.Run(simtime.Never)
+	if got := f.e.InFlightPackets(); got != 0 {
+		t.Fatalf("in flight after drain = %d, want 0", got)
+	}
+	if f.e.C.Delivered != 1 {
+		t.Fatalf("delivered = %d, want 1", f.e.C.Delivered)
+	}
+}
+
+// TestClosurePathStandaloneScenarios reruns a few representative engine
+// tests' scenarios on the legacy closure path, keeping it exercised (and
+// correct) as long as it exists.
+func TestClosurePathStandaloneScenarios(t *testing.T) {
+	f := newFixture(t, gwScheme{})
+	f.e.ClosureEvents = true
+	src, dst := f.vips[0], f.vips[10]
+	delivered := 0
+	f.e.Handler = func(host int32, p *packet.Packet) { delivered++ }
+	f.e.HostSend(f.hostOf(src), packet.NewData(1, 0, 1000, src, dst, 0))
+	f.e.Run(simtime.Never)
+	if delivered != 1 || f.e.C.GatewayPackets != 1 {
+		t.Fatalf("closure path delivery broken: delivered=%d %+v", delivered, f.e.C)
+	}
+	if got := f.e.InFlightPackets(); got != 0 {
+		t.Fatalf("closure path leaves %d in flight after drain", got)
+	}
+}
+
+// BenchmarkLinkSerializer measures the per-packet cost of the serializer
+// hot path on both event paths; the typed path must report 0 allocs/op.
+func BenchmarkLinkSerializer(b *testing.B) {
+	for _, mode := range []struct {
+		name     string
+		closures bool
+	}{{"typed", false}, {"closure", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			e, l := bareLink()
+			e.ClosureEvents = mode.closures
+			p := packet.NewData(1, 0, 1000, 1, 2, 3)
+			for i := 0; i < 8; i++ { // warm the pools
+				l.enqueue(p)
+				e.Q.Run(simtime.Never)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				l.enqueue(p)
+				e.Q.Run(simtime.Never)
+			}
+		})
+	}
+}
+
+// BenchmarkEcmpForward measures a resolved packet's full fabric
+// traversal — adjacency lookup, ECMP hash, per-hop serialization —
+// from source ToR to destination host.
+func BenchmarkEcmpForward(b *testing.B) {
+	f := newFixture(b, gwScheme{})
+	src, dst := f.vips[0], f.vips[200]
+	pip, _ := f.net.Lookup(dst)
+	p := packet.NewData(7, 0, 1000, src, dst, 0)
+	p.DstPIP = pip
+	p.Resolved = true
+	p.SentAt = simtime.Time(1)
+	sw := f.e.Topo.Hosts[f.hostOf(src)].ToR
+	dstToR := f.e.Topo.Hosts[f.hostOf(dst)].ToR
+	for i := 0; i < 8; i++ {
+		f.e.ecmpForward(sw, dstToR, p)
+		f.e.Q.Run(simtime.Never)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.e.ecmpForward(sw, dstToR, p)
+		f.e.Q.Run(simtime.Never)
+	}
+}

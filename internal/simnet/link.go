@@ -18,11 +18,66 @@ type link struct {
 
 	fromSwitch int32 // owning switch for shared-buffer accounting, -1 for host egress
 
-	queued int // bytes queued or in serialization
+	// inFlight counts packets accepted by this link and not yet handed to
+	// the far end: queued, serializing, or in propagation flight.
+	inFlight int
 
 	queue []*packet.Packet
 	head  int
 	busy  bool
+
+	// free is the freelist of pooled event records for the typed-event
+	// hot path. A record leaves the freelist when a packet starts
+	// serializing and returns in its deliver stage, so the pool grows to
+	// this link's in-flight high-water mark and is then reused forever:
+	// the steady-state serializer path allocates nothing.
+	free []*linkEvent
+}
+
+// linkEvent is a pooled, pre-bound event record (eventq.Timed) that
+// carries one packet through the link's two scheduled instants: the end
+// of serialization (stageTxDone) and the end of propagation
+// (stageDeliver). The queue owns the record between AfterTimed and Fire;
+// the link owns it otherwise. A record is recycled onto l.free before
+// deliver runs, so re-entrant enqueues on the same link may reuse it
+// immediately.
+type linkEvent struct {
+	l     *link
+	p     *packet.Packet
+	size  int
+	stage uint8
+}
+
+const (
+	stageTxDone uint8 = iota
+	stageDeliver
+)
+
+// Fire dispatches the record's current stage.
+func (ev *linkEvent) Fire() {
+	switch ev.stage {
+	case stageTxDone:
+		ev.l.txDone(ev.size)
+		ev.stage = stageDeliver
+		ev.l.e.Q.AfterTimed(ev.l.delay, ev)
+		ev.l.serializeNext()
+	default: // stageDeliver
+		l, p := ev.l, ev.p
+		ev.p = nil
+		l.free = append(l.free, ev)
+		l.inFlight--
+		l.deliver(p)
+	}
+}
+
+// getEvent pops a pooled record, allocating only to grow the pool.
+func (l *link) getEvent() *linkEvent {
+	if n := len(l.free); n > 0 {
+		ev := l.free[n-1]
+		l.free = l.free[:n-1]
+		return ev
+	}
+	return &linkEvent{l: l}
 }
 
 // enqueue appends p to the egress queue, dropping it if the owning
@@ -38,7 +93,7 @@ func (l *link) enqueue(p *packet.Packet) {
 		l.e.bufUsed[l.fromSwitch] += size
 		l.e.BufGauge.Set(int64(l.e.bufUsed[l.fromSwitch]))
 	}
-	l.queued += size
+	l.inFlight++
 	l.queue = append(l.queue, p)
 	if !l.busy {
 		l.busy = true
@@ -46,7 +101,29 @@ func (l *link) enqueue(p *packet.Packet) {
 	}
 }
 
-// startNext begins serializing the packet at the head of the queue.
+// txDone releases the packet's shared-buffer claim when its last bit
+// leaves the serializer (shared by the typed and closure paths).
+func (l *link) txDone(size int) {
+	if l.fromSwitch >= 0 {
+		l.e.bufUsed[l.fromSwitch] -= size
+		l.e.BufGauge.Set(int64(l.e.bufUsed[l.fromSwitch]))
+	}
+}
+
+// serializeNext continues with the next queued packet, or idles the
+// serializer (shared by the typed and closure paths).
+func (l *link) serializeNext() {
+	if l.head < len(l.queue) {
+		l.startNext()
+	} else {
+		l.busy = false
+	}
+}
+
+// startNext begins serializing the packet at the head of the queue. The
+// default path schedules a pooled linkEvent record; Engine.ClosureEvents
+// selects the legacy closure-per-event path, kept for the determinism
+// guard that proves both dispatch byte-identical results.
 func (l *link) startNext() {
 	p := l.queue[l.head]
 	l.queue[l.head] = nil
@@ -57,18 +134,22 @@ func (l *link) startNext() {
 	}
 	size := p.Size()
 	tx := simtime.TransmitTime(size, l.bps)
+	if !l.e.ClosureEvents {
+		ev := l.getEvent()
+		ev.p = p
+		ev.size = size
+		ev.stage = stageTxDone
+		l.e.Q.AfterTimed(tx, ev)
+		return
+	}
 	l.e.Q.After(tx, func() {
-		l.queued -= size
-		if l.fromSwitch >= 0 {
-			l.e.bufUsed[l.fromSwitch] -= size
-		}
+		l.txDone(size)
 		// Store-and-forward: the far end receives the packet one
 		// propagation delay after the last bit leaves.
-		l.e.Q.After(l.delay, func() { l.deliver(p) })
-		if l.head < len(l.queue) {
-			l.startNext()
-		} else {
-			l.busy = false
-		}
+		l.e.Q.After(l.delay, func() {
+			l.inFlight--
+			l.deliver(p)
+		})
+		l.serializeNext()
 	})
 }

@@ -17,6 +17,8 @@ func fixed(v float64) string { return strconv.FormatFloat(v, 'f', 6, 64) }
 type jsonProfile struct {
 	Events           int64   `json:"events"`
 	HeapHighWater    int     `json:"heap_high_water"`
+	Mallocs          uint64  `json:"mallocs"`
+	AllocsPerEvent   float64 `json:"allocs_per_event"`
 	WallMs           float64 `json:"wall_ms"`
 	EventsPerSec     float64 `json:"events_per_sec"`
 	WallPerSimSecond float64 `json:"wall_per_sim_second"`
@@ -43,6 +45,8 @@ func (c *Collector) WriteJSON(w io.Writer) error {
 		Profile: jsonProfile{
 			Events:           c.Profile.Events,
 			HeapHighWater:    c.Profile.HeapHighWater,
+			Mallocs:          c.Profile.Mallocs,
+			AllocsPerEvent:   c.Profile.AllocsPerEvent(),
 			WallMs:           float64(c.Profile.Wall) / float64(time.Millisecond),
 			EventsPerSec:     c.Profile.EventsPerSec(),
 			WallPerSimSecond: c.Profile.WallPerSimSecond(),

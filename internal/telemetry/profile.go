@@ -18,6 +18,11 @@ type EngineProfile struct {
 	Events int64
 	// HeapHighWater is the largest pending-event count observed.
 	HeapHighWater int
+	// Mallocs is the number of heap allocations performed inside the run
+	// loop (runtime.MemStats.Mallocs delta across the profiled drain):
+	// the regression signal for the allocation-free hot path. Like Wall
+	// it measures the host process, never simulation state.
+	Mallocs uint64
 	// Wall is the wall-clock time spent inside the run loop.
 	Wall time.Duration
 	// SimEnd is the simulated instant at which the last run stopped.
@@ -32,6 +37,14 @@ func (p *EngineProfile) EventsPerSec() float64 {
 	return float64(p.Events) / p.Wall.Seconds()
 }
 
+// AllocsPerEvent returns the mean heap allocations per dispatched event.
+func (p *EngineProfile) AllocsPerEvent() float64 {
+	if p == nil || p.Events == 0 {
+		return 0
+	}
+	return float64(p.Mallocs) / float64(p.Events)
+}
+
 // WallPerSimSecond returns how many wall-clock seconds one simulated
 // second costs (the simulator's slowdown factor).
 func (p *EngineProfile) WallPerSimSecond() float64 {
@@ -44,7 +57,7 @@ func (p *EngineProfile) WallPerSimSecond() float64 {
 
 // String summarizes the profile in one line.
 func (p *EngineProfile) String() string {
-	return fmt.Sprintf("events=%d heapHW=%d wall=%v events/sec=%.0f wall-per-sim-sec=%.1f",
+	return fmt.Sprintf("events=%d heapHW=%d wall=%v events/sec=%.0f wall-per-sim-sec=%.1f allocs/event=%.3f",
 		p.Events, p.HeapHighWater, p.Wall.Round(time.Microsecond),
-		p.EventsPerSec(), p.WallPerSimSecond())
+		p.EventsPerSec(), p.WallPerSimSecond(), p.AllocsPerEvent())
 }

@@ -35,7 +35,10 @@ go test ./...
 echo "== race =="
 go test -race ./...
 
-echo "== benches (one iteration each) =="
-go test -bench=. -benchmem -benchtime=1x -run=NONE ./...
+echo "== benches (one iteration each, smoke) =="
+# Compile-and-run every benchmark once so they cannot bit-rot; the
+# allocation benches (LinkSerializer, EcmpForward, EngineEventsPerSec)
+# double as smoke coverage for the allocation-free hot path.
+go test -bench=. -benchmem -benchtime=1x -run='^$' ./...
 
 echo "CI OK"
