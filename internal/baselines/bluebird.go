@@ -77,6 +77,13 @@ func (*Bluebird) Name() string { return "Bluebird" }
 // Cache exposes a ToR's route cache for tests.
 func (b *Bluebird) Cache(sw int32) *core.Cache { return b.caches[sw] }
 
+// FlushCache implements simnet.CacheFlusher: a failed ToR loses its
+// route cache and whatever work its local control plane had queued.
+func (b *Bluebird) FlushCache(sw int32) {
+	b.caches[sw].Flush()
+	b.cp[sw] = bluebirdCP{}
+}
+
 // SenderResolve implements simnet.Scheme: hosts leave packets unresolved
 // with no outer destination; the first-hop ToR owns resolution.
 func (*Bluebird) SenderResolve(e *simnet.Engine, host int32, p *packet.Packet) bool { return true }

@@ -68,6 +68,10 @@ func (*Controller) Name() string { return "Controller" }
 // Installed exposes a switch's installed table size (tests).
 func (c *Controller) Installed(sw int32) int { return len(c.installed[sw]) }
 
+// FlushCache implements simnet.CacheFlusher: a failed switch loses its
+// installed rules until the controller's next placement reinstalls them.
+func (c *Controller) FlushCache(sw int32) { clear(c.installed[sw]) }
+
 // SenderResolve implements simnet.Scheme.
 func (c *Controller) SenderResolve(e *simnet.Engine, host int32, p *packet.Packet) bool {
 	c.ensureScheduled(e)

@@ -37,6 +37,9 @@ func (*LocalLearning) Name() string { return "LocalLearning" }
 // Cache exposes a switch's cache for tests.
 func (l *LocalLearning) Cache(sw int32) *core.Cache { return l.caches[sw] }
 
+// FlushCache implements simnet.CacheFlusher.
+func (l *LocalLearning) FlushCache(sw int32) { l.caches[sw].Flush() }
+
 // SenderResolve implements simnet.Scheme.
 func (*LocalLearning) SenderResolve(e *simnet.Engine, host int32, p *packet.Packet) bool {
 	if !p.Resolved {

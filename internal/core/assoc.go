@@ -32,6 +32,10 @@ type MappingCache interface {
 	// HitStats returns the cumulative lookup and hit counts (the
 	// telemetry sampler reads these as windowed per-switch hit rates).
 	HitStats() (lookups, hits int64)
+	// Flush discards every entry, keeping the capacity and the
+	// cumulative counters: the state loss of a switch failure
+	// (internal/faults), after which the cache re-learns from scratch.
+	Flush()
 }
 
 var (
@@ -159,6 +163,12 @@ func (c *AssocCache) Invalidate(vip netaddr.VIP, stalePIP netaddr.PIP) bool {
 	delete(c.index, vip)
 	c.ll.Remove(el)
 	return true
+}
+
+// Flush implements MappingCache.
+func (c *AssocCache) Flush() {
+	c.ll.Init()
+	clear(c.index)
 }
 
 // HitRate returns hits/lookups.

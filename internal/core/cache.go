@@ -167,6 +167,12 @@ func (c *Cache) Invalidate(vip netaddr.VIP, stalePIP netaddr.PIP) bool {
 // HitStats implements MappingCache.
 func (c *Cache) HitStats() (lookups, hits int64) { return c.Lookups, c.Hits }
 
+// Flush implements MappingCache: clear every line, as a switch failure
+// does to the register arrays. Capacity and cumulative counters survive.
+func (c *Cache) Flush() {
+	clear(c.lines)
+}
+
 // HitRate returns hits/lookups, or 0 with no lookups.
 func (c *Cache) HitRate() float64 {
 	if c.Lookups == 0 {

@@ -173,6 +173,24 @@ func (s *Scheme) Cache(sw int32) MappingCache {
 	return s.caches[sw]
 }
 
+// FlushCache implements simnet.CacheFlusher: a failed switch loses all
+// per-switch protocol state — its mapping cache (every tenant's cache
+// under tenancy) and, for ToRs, the invalidation timestamp vector. On
+// recovery the switch re-learns transparently from passing traffic.
+func (s *Scheme) FlushCache(sw int32) {
+	if s.caches != nil {
+		s.caches[sw].Flush()
+	}
+	if s.tenantCaches != nil {
+		// Order-independent: flushing each tenant cache touches no
+		// shared or ordered state.
+		for _, c := range s.tenantCaches[sw] {
+			c.Flush()
+		}
+	}
+	delete(s.tsVec, sw)
+}
+
 // SenderResolve implements simnet.Scheme: SwitchV2P keeps the
 // gateway-driven sending path — hosts always address a translation
 // gateway; resolution happens opportunistically in the network.

@@ -11,6 +11,7 @@ import (
 
 	"switchv2p/internal/baselines"
 	"switchv2p/internal/core"
+	"switchv2p/internal/faults"
 	"switchv2p/internal/netaddr"
 	"switchv2p/internal/simnet"
 	"switchv2p/internal/simtime"
@@ -95,6 +96,13 @@ type Config struct {
 	// uninstrumented run.
 	Telemetry *telemetry.Options
 
+	// Faults configures deterministic fault injection (internal/faults):
+	// an explicit schedule of link/switch/gateway failures and loss
+	// windows, a seeded random switch-failure model, or both. nil (or an
+	// empty config) injects nothing and leaves the hot paths on their
+	// healthy fast branches.
+	Faults *faults.Config
+
 	// SweepWorkers bounds how many simulations the sweep helpers
 	// (CacheSizeSweep, GatewaySweep, TopologySweep) run concurrently;
 	// 0 or 1 means serial. Every sweep point is an independent run
@@ -163,6 +171,12 @@ type Report struct {
 	InvalidationPkts int64
 	AvgPacketLatency simtime.Duration
 
+	// Fault-injection outcomes (all zero without Config.Faults).
+	FaultDrops  int64 // packets dropped at downed links/switches/gateways
+	LossDrops   int64 // packets dropped by probabilistic loss windows
+	Rerouted    int64 // packets steered off their hash-preferred ECMP hop
+	FaultEvents int   // fault events applied during the run
+
 	// CoreStats is present for SwitchV2P runs (Table 5 attribution).
 	CoreStats *core.Stats
 
@@ -187,6 +201,10 @@ type World struct {
 
 	// Telem is the attached telemetry collector (nil when disabled).
 	Telem *telemetry.Collector
+
+	// Injector is the attached fault injector (nil when Config.Faults
+	// is unset); inspect Injector.Applied and Injector.Err after a run.
+	Injector *faults.Injector
 }
 
 // totalCacheEntries converts the cache fraction into aggregate entries.
@@ -300,6 +318,14 @@ func Build(cfg Config) (*World, error) {
 	if cfg.Telemetry != nil {
 		w.attachTelemetry(*cfg.Telemetry)
 	}
+	if !cfg.Faults.Empty() {
+		inj, err := faults.New(cfg.Faults, topo)
+		if err != nil {
+			return nil, err
+		}
+		inj.Attach(engine, cfg.Faults, w.Telem)
+		w.Injector = inj
+	}
 
 	workload := cfg.Workload
 	if workload == nil {
@@ -333,6 +359,11 @@ func Run(cfg Config) (*Report, error) {
 		return nil, err
 	}
 	w.Engine.Run(w.Cfg.Horizon)
+	if w.Injector != nil {
+		if err := w.Injector.Err(); err != nil {
+			return nil, err
+		}
+	}
 	return w.Report(), nil
 }
 
@@ -353,7 +384,13 @@ func (w *World) Report() *Report {
 		LearningPkts:     c.LearningPkts,
 		InvalidationPkts: c.InvalidationPkts,
 		AvgPacketLatency: c.AvgPacketLatency(),
+		FaultDrops:       c.FaultDrops,
+		LossDrops:        c.LossDrops,
+		Rerouted:         c.Rerouted,
 		World:            w,
+	}
+	if w.Injector != nil {
+		r.FaultEvents = len(w.Injector.Applied)
 	}
 	if c.HostSent > 0 {
 		r.HitRate = 1 - float64(c.GatewayPackets)/float64(c.HostSent)

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"switchv2p/internal/faults"
 	"switchv2p/internal/simtime"
 	"switchv2p/internal/topology"
 	"switchv2p/internal/trace"
@@ -86,11 +87,11 @@ func TestSystemInvariantsUnderRandomScenarios(t *testing.T) {
 			return false
 		}
 		if c.StrayControlPkts != 0 {
-			t.Logf("seed %d: %d stray control packets", seed, c.StrayControlPkts)
+			t.Errorf("seed %d scheme %s: %d stray control packets", seed, cfg.Scheme, c.StrayControlPkts)
 			return false
 		}
 		if c.GatewayUnknownVIP != 0 {
-			t.Logf("seed %d: gateway unknown VIPs", seed)
+			t.Errorf("seed %d scheme %s: %d gateway unknown VIPs", seed, cfg.Scheme, c.GatewayUnknownVIP)
 			return false
 		}
 		// Conservation: every host-sent tenant packet was delivered,
@@ -99,6 +100,147 @@ func TestSystemInvariantsUnderRandomScenarios(t *testing.T) {
 		if c.Delivered+c.Drops < c.HostSent {
 			t.Logf("seed %d: conservation violated: delivered %d + drops %d < sent %d",
 				seed, c.Delivered, c.Drops, c.HostSent)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSystemInvariantsUnderFaultSchedules re-runs the random-scenario
+// property with a random fault schedule layered on top: switch crashes
+// with recovery, gateway outages, link failures and loss windows. Under
+// faults the "every flow completes" invariant necessarily weakens —
+// flows caught in a long outage exhaust their retries — but nothing may
+// be lost silently:
+//
+//  1. every flow completes or times out (none vanish),
+//  2. no control packets leak to hosts,
+//  3. the gateway never sees an unknown VIP,
+//  4. packet conservation holds (fault drops are still drops),
+//  5. the injector applied its whole schedule without errors.
+func TestSystemInvariantsUnderFaultSchedules(t *testing.T) {
+	schemes := []string{
+		SchemeSwitchV2P, SchemeNoCache, SchemeLocalLearning, SchemeGwCache,
+		SchemeOnDemand, SchemeDirect, SchemeController, SchemeHybrid,
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+
+		topoCfg := topology.FT8()
+		topoCfg.Pods = 2 + rng.Intn(3)*2
+		topoCfg.RacksPerPod = 2 + rng.Intn(2)
+		topoCfg.SpinesPerPod = 2
+		topoCfg.Cores = 4
+		topoCfg.ServersPerRack = 2
+		topoCfg.GatewayPods = []int{0}
+		topoCfg.GatewaysPerPod = 2 + rng.Intn(3)
+
+		topo, err := topology.New(topoCfg)
+		if err != nil {
+			t.Errorf("seed %d: topology: %v", seed, err)
+			return false
+		}
+
+		// Random fault schedule. Every fault recovers before 400µs so the
+		// drain phase runs on a healthy network and stalled flows get a
+		// chance to finish (or exhaust their retries — both are legal).
+		var schedule []faults.Event
+		window := func() (simtime.Time, simtime.Time) {
+			a := simtime.Time(rng.Intn(200_000))
+			return a, a + simtime.Time(1+rng.Intn(200_000))
+		}
+		for i := 0; i < 1+rng.Intn(2); i++ {
+			sw := int32(rng.Intn(len(topo.Switches)))
+			at, rec := window()
+			schedule = append(schedule,
+				faults.Event{At: at, Kind: faults.SwitchFail, Switch: sw},
+				faults.Event{At: rec, Kind: faults.SwitchRecover, Switch: sw})
+		}
+		gws := topo.Gateways()
+		if rng.Intn(2) == 0 && len(gws) > 1 {
+			g := gws[rng.Intn(len(gws))]
+			at, rec := window()
+			schedule = append(schedule,
+				faults.Event{At: at, Kind: faults.GatewayOutage, Gateway: g},
+				faults.Event{At: rec, Kind: faults.GatewayRecover, Gateway: g})
+		}
+		if rng.Intn(2) == 0 {
+			edge := topo.Edges[rng.Intn(len(topo.Edges))]
+			at, rec := window()
+			schedule = append(schedule,
+				faults.Event{At: at, Kind: faults.LinkDown, A: edge.A, B: edge.B},
+				faults.Event{At: rec, Kind: faults.LinkUp, A: edge.A, B: edge.B})
+		}
+		if rng.Intn(2) == 0 {
+			edge := topo.Edges[rng.Intn(len(topo.Edges))]
+			at, rec := window()
+			schedule = append(schedule,
+				faults.Event{At: at, Kind: faults.LossStart, A: edge.A, B: edge.B,
+					LossRate: []float64{0.05, 0.5, 1}[rng.Intn(3)]},
+				faults.Event{At: rec, Kind: faults.LossEnd, A: edge.A, B: edge.B})
+		}
+
+		cfg := Config{
+			Topo:          topoCfg,
+			VMs:           64 + rng.Intn(128),
+			Scheme:        schemes[rng.Intn(len(schemes))],
+			CacheFraction: []float64{0.05, 0.5, 2}[rng.Intn(3)],
+			Seed:          seed,
+			Workload:      &trace.Workload{Name: "custom"},
+			Faults:        &faults.Config{Schedule: schedule, LossSeed: seed},
+		}
+		w, err := Build(cfg)
+		if err != nil {
+			t.Errorf("seed %d: build: %v", seed, err)
+			return false
+		}
+		nFlows := 5 + rng.Intn(30)
+		for i := 0; i < nFlows; i++ {
+			src := w.VIPs[rng.Intn(len(w.VIPs))]
+			dst := w.VIPs[rng.Intn(len(w.VIPs))]
+			if src == dst {
+				continue
+			}
+			w.Agent.AddFlow(transport.FlowSpec{
+				ID: uint64(i + 1), Src: src, Dst: dst, Proto: transport.TCP,
+				Bytes: 1 + rng.Intn(100_000),
+				Start: simtime.Time(rng.Intn(200_000)),
+			})
+		}
+		w.Engine.Run(simtime.Never)
+
+		s := w.Agent.Summarize()
+		c := &w.Engine.C
+		if s.Completed+s.TimedOut != s.Flows {
+			t.Errorf("seed %d scheme %s: completed %d + timedout %d != flows %d",
+				seed, cfg.Scheme, s.Completed, s.TimedOut, s.Flows)
+			return false
+		}
+		if c.StrayControlPkts != 0 {
+			t.Errorf("seed %d scheme %s: %d stray control packets under faults",
+				seed, cfg.Scheme, c.StrayControlPkts)
+			return false
+		}
+		if c.GatewayUnknownVIP != 0 {
+			t.Errorf("seed %d scheme %s: %d gateway unknown VIPs under faults",
+				seed, cfg.Scheme, c.GatewayUnknownVIP)
+			return false
+		}
+		if c.Delivered+c.Drops < c.HostSent {
+			t.Errorf("seed %d scheme %s: conservation violated: delivered %d + drops %d < sent %d",
+				seed, cfg.Scheme, c.Delivered, c.Drops, c.HostSent)
+			return false
+		}
+		if err := w.Injector.Err(); err != nil {
+			t.Errorf("seed %d scheme %s: injector: %v", seed, cfg.Scheme, err)
+			return false
+		}
+		if len(w.Injector.Applied) != len(schedule) {
+			t.Errorf("seed %d scheme %s: applied %d of %d fault events",
+				seed, cfg.Scheme, len(w.Injector.Applied), len(schedule))
 			return false
 		}
 		return true

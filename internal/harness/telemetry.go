@@ -39,7 +39,9 @@ func (w *World) attachTelemetry(opts telemetry.Options) {
 
 	// Network-wide series.
 	tel.AddProbe("net.inflight_pkts", func() float64 { return float64(e.InFlightPackets()) })
+	tel.AddProbe("net.sent_per_sec", telemetry.RateProbe(iv, func() int64 { return c.HostSent }))
 	tel.AddProbe("net.drops_per_sec", telemetry.RateProbe(iv, func() int64 { return c.Drops }))
+	tel.AddProbe("net.fault_drops_per_sec", telemetry.RateProbe(iv, func() int64 { return c.FaultDrops }))
 	tel.AddProbe("proto.learning_per_sec", telemetry.RateProbe(iv, func() int64 { return c.LearningPkts }))
 	tel.AddProbe("proto.invalidation_per_sec", telemetry.RateProbe(iv, func() int64 { return c.InvalidationPkts }))
 	tel.AddProbe("transport.retx_per_sec", telemetry.RateProbe(iv, w.Agent.RetxCounter.Value))

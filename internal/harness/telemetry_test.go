@@ -16,11 +16,12 @@ import (
 // comparable string. Telemetry and World are deliberately excluded: the
 // former only exists on instrumented runs, the latter holds pointers.
 func reportFingerprint(r *Report) string {
-	return fmt.Sprintf("%s|%+v|%v|%d|%d|%v|%d|%v|%v|%d|%v|%d|%d|%d|%v",
+	return fmt.Sprintf("%s|%+v|%v|%d|%d|%v|%d|%v|%v|%d|%v|%d|%d|%d|%v|%d|%d|%d|%d",
 		r.Scheme, r.Summary, r.HitRate, r.GatewayPackets, r.HostSent,
 		r.AvgStretch, r.TotalSwitchBytes, r.PerPodBytes, r.PerSwitchBytes,
 		r.Misdeliveries, r.LastMisdelivered, r.Drops, r.LearningPkts,
-		r.InvalidationPkts, r.AvgPacketLatency)
+		r.InvalidationPkts, r.AvgPacketLatency,
+		r.FaultDrops, r.LossDrops, r.Rerouted, r.FaultEvents)
 }
 
 // TestTelemetryZeroPerturbation is the guard the tentpole promises:

@@ -8,6 +8,7 @@ package simnet
 
 import (
 	"fmt"
+	"math/rand"
 	"runtime"
 	"time"
 
@@ -75,6 +76,13 @@ type Counters struct {
 	ConsumedControl   int64        // control packets consumed by switches
 	StrayControlPkts  int64        // control packets that reached a host (should not happen)
 	GatewayUnknownVIP int64        // gateway lookups that failed (should not happen)
+
+	// Fault-injection counters (internal/faults). All three kinds of
+	// fault drop also count toward Drops, so packet conservation
+	// (Delivered + Drops >= HostSent) holds under any fault schedule.
+	FaultDrops int64 // packets dropped at a downed link, switch or gateway
+	LossDrops  int64 // packets dropped by a probabilistic loss window
+	Rerouted   int64 // packets steered off their hash-preferred ECMP hop
 }
 
 // Engine wires a topology, a virtual network, and a scheme into a
@@ -128,6 +136,18 @@ type Engine struct {
 
 	gateways []int32 // host indices senders may load-balance over
 	nextUID  uint64
+
+	// Fault-injection state (see faults.go). swDown/gwDown mark failed
+	// switches and outaged gateway instances; activeFaults counts the
+	// currently failed entities so healthy runs take a single predictable
+	// branch on the forwarding and gateway-selection hot paths; lossRand
+	// drives the per-link loss coin flips (created lazily by SetLossSeed/
+	// SetLinkLoss, always per-engine — never global — so same-seed runs
+	// are byte-identical).
+	swDown       []bool
+	gwDown       []bool
+	activeFaults int
+	lossRand     *rand.Rand
 }
 
 // New builds an engine over the given topology and virtual network.
@@ -145,6 +165,8 @@ func New(topo *topology.Topology, net *vnet.Net, scheme Scheme, cfg Config) *Eng
 	e.C.GatewayPktByHost = make([]int64, len(topo.Hosts))
 	e.C.GatewayByteByHost = make([]int64, len(topo.Hosts))
 	e.bufUsed = make([]int, len(topo.Switches))
+	e.swDown = make([]bool, len(topo.Switches))
+	e.gwDown = make([]bool, len(topo.Hosts))
 	e.hostUp = make([]*link, len(topo.Hosts))
 	e.hostDown = make([]*link, len(topo.Hosts))
 	e.swNbr = make([][]*link, len(topo.Switches))
@@ -284,8 +306,39 @@ func (e *Engine) GatewayFor(src netaddr.PIP, flowID uint64) netaddr.PIP {
 			"(topology.Config.GatewayPods/GatewaysPerPod are empty; " +
 			"use a gateway-free scheme or configure gateways)")
 	}
-	g := e.gateways[netaddr.FlowHash(src, 0, flowID)%uint32(len(e.gateways))]
+	h := netaddr.FlowHash(src, 0, flowID)
+	g := e.gateways[h%uint32(len(e.gateways))]
+	if e.activeFaults > 0 && e.gwDown[g] {
+		g = e.rerouteGateway(g, h)
+	}
 	return e.Topo.Hosts[g].PIP
+}
+
+// rerouteGateway re-balances a flow whose hash-preferred gateway is
+// outaged across the gateways that are still up. When every gateway is
+// dark the original pick is kept: the packet travels to the dead
+// gateway and is dropped there (FaultDrops), exactly as in a real
+// fabric — senders have no oracle for total gateway loss.
+func (e *Engine) rerouteGateway(down int32, h uint32) int32 {
+	up := 0
+	for _, g := range e.gateways {
+		if !e.gwDown[g] {
+			up++
+		}
+	}
+	if up == 0 {
+		return down
+	}
+	k := int(h % uint32(up))
+	for _, g := range e.gateways {
+		if !e.gwDown[g] {
+			if k == 0 {
+				return g
+			}
+			k--
+		}
+	}
+	return down // unreachable
 }
 
 // IsGatewayPIP reports whether the address belongs to any translation
@@ -336,8 +389,15 @@ func (e *Engine) InjectFromSwitch(sw int32, p *packet.Packet) {
 }
 
 // switchArrive processes a packet arriving at a switch: count it, hand it
-// to the scheme, then route it onward unless consumed.
+// to the scheme, then route it onward unless consumed. A failed switch
+// processes nothing: packets already in flight toward it when it failed
+// die on arrival, before any counter, tap or scheme hook runs.
 func (e *Engine) switchArrive(sw int32, from topology.NodeRef, p *packet.Packet) {
+	if e.swDown[sw] {
+		e.C.Drops++
+		e.C.FaultDrops++
+		return
+	}
 	p.Hops++
 	e.C.SwitchPackets[sw]++
 	e.C.SwitchBytes[sw] += int64(p.Size())
@@ -379,18 +439,58 @@ func (e *Engine) forwardFromSwitch(sw int32, p *packet.Packet) {
 
 // ecmpForward picks one of the equal-cost next hops toward dstSw by
 // hashing the flow identity, salted per switch to avoid hash polarization.
+// With faults active, a hash-preferred hop that is downed (failed link or
+// failed next switch) is excluded and the flow is re-balanced across the
+// surviving hops (Rerouted); a healthy preferred hop keeps its healthy-run
+// choice, so failures perturb only the flows that actually crossed them.
 func (e *Engine) ecmpForward(sw, dstSw int32, p *packet.Packet) {
 	hops := e.Topo.NextHops(sw, dstSw)
 	if len(hops) == 0 {
 		e.C.Drops++
 		return
 	}
+	var h uint32
 	next := hops[0]
 	if len(hops) > 1 {
-		h := netaddr.FlowHash(p.SrcPIP, p.DstPIP, p.FlowID^(uint64(sw)*0x9e3779b1))
+		h = netaddr.FlowHash(p.SrcPIP, p.DstPIP, p.FlowID^(uint64(sw)*0x9e3779b1))
 		next = hops[h%uint32(len(hops))]
 	}
-	e.swNbr[sw][e.swOrd[sw][next]].enqueue(p)
+	l := e.swNbr[sw][e.swOrd[sw][next]]
+	if e.activeFaults > 0 && (l.faultDown || l.swFaults != 0) {
+		l = e.rerouteHop(sw, hops, h)
+		if l == nil {
+			e.C.Drops++
+			e.C.FaultDrops++
+			return
+		}
+		e.C.Rerouted++
+	}
+	l.enqueue(p)
+}
+
+// rerouteHop picks the h-th usable next hop, or nil when every
+// equal-cost hop toward the destination is downed. Allocation-free: two
+// passes over the (small) next-hop slice.
+func (e *Engine) rerouteHop(sw int32, hops []int32, h uint32) *link {
+	usable := 0
+	for _, c := range hops {
+		if l := e.swNbr[sw][e.swOrd[sw][c]]; !l.faultDown && l.swFaults == 0 {
+			usable++
+		}
+	}
+	if usable == 0 {
+		return nil
+	}
+	k := int(h % uint32(usable))
+	for _, c := range hops {
+		if l := e.swNbr[sw][e.swOrd[sw][c]]; !l.faultDown && l.swFaults == 0 {
+			if k == 0 {
+				return l
+			}
+			k--
+		}
+	}
+	return nil // unreachable
 }
 
 // hostArrive processes a packet reaching a host NIC: gateway processing
@@ -435,6 +535,14 @@ func (e *Engine) hostArrive(host int32, p *packet.Packet) {
 // processing latency, an authoritative lookup, and re-emission of the
 // resolved packet through the gateway's NIC.
 func (e *Engine) gatewayProcess(host int32, p *packet.Packet) {
+	if e.gwDown[host] {
+		// An outaged gateway is dark: packets already in flight toward it
+		// when the outage hit (or sent while every gateway is down) die
+		// here, unprocessed and uncounted.
+		e.C.Drops++
+		e.C.FaultDrops++
+		return
+	}
 	e.C.GatewayPackets++
 	e.C.GatewayBytes += int64(p.Size())
 	e.C.GatewayPktByHost[host]++

@@ -18,6 +18,17 @@ type link struct {
 
 	fromSwitch int32 // owning switch for shared-buffer accounting, -1 for host egress
 
+	// Fault state (see Engine.SetLinkFault / SetSwitchFault /
+	// SetLinkLoss). faultDown marks an explicit link failure; swFaults
+	// counts failed endpoint switches (a fabric link has up to two, so a
+	// recovery of one endpoint must not revive a link whose other
+	// endpoint is still dark); loss is the probabilistic drop rate of the
+	// current loss window (0 = lossless). A link accepts no packets while
+	// faultDown || swFaults != 0.
+	faultDown bool
+	swFaults  uint8
+	loss      float64
+
 	// inFlight counts packets accepted by this link and not yet handed to
 	// the far end: queued, serializing, or in propagation flight.
 	inFlight int
@@ -80,9 +91,21 @@ func (l *link) getEvent() *linkEvent {
 	return &linkEvent{l: l}
 }
 
-// enqueue appends p to the egress queue, dropping it if the owning
-// switch's shared buffer is exhausted, and kicks the serializer if idle.
+// enqueue appends p to the egress queue, dropping it if the link is
+// down (fault injection), lossy (probabilistic loss window), or if the
+// owning switch's shared buffer is exhausted, and kicks the serializer
+// if idle.
 func (l *link) enqueue(p *packet.Packet) {
+	if l.faultDown || l.swFaults != 0 {
+		l.e.C.Drops++
+		l.e.C.FaultDrops++
+		return
+	}
+	if l.loss != 0 && l.e.lossRand.Float64() < l.loss {
+		l.e.C.Drops++
+		l.e.C.LossDrops++
+		return
+	}
 	size := p.Size()
 	if l.fromSwitch >= 0 {
 		if l.e.bufUsed[l.fromSwitch]+size > l.e.Topo.Cfg.BufferBytes {

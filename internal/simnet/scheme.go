@@ -43,3 +43,15 @@ type Scheme interface {
 	// follow-me rule (host-driven).
 	HostMisdeliver(e *Engine, host int32, p *packet.Packet)
 }
+
+// CacheFlusher is the optional fault-recovery hook: schemes whose
+// switches hold per-switch translation state implement it so the fault
+// injector (internal/faults) can model the state loss of a switch
+// failure — a recovered switch restarts with a cold cache and must
+// re-learn from passing traffic. Schemes without per-switch state
+// (NoCache, OnDemand, Direct) simply do not implement it.
+type CacheFlusher interface {
+	// FlushCache discards every mapping (and any per-switch protocol
+	// state) held by switch sw.
+	FlushCache(sw int32)
+}

@@ -47,13 +47,28 @@ func (t *Timeline) Find(name string) *Series {
 	return nil
 }
 
+// FaultRecord is one entry in the fault timeline: a fault event the
+// injector (internal/faults) applied to the simulation, stamped with
+// its simulation time. Kind is the event kind's string form (e.g.
+// "SwitchFail") and Detail identifies the affected entity (e.g.
+// "switch 12" or "link host 3 <-> switch 0").
+type FaultRecord struct {
+	TimeUs float64 `json:"time_us"`
+	Kind   string  `json:"kind"`
+	Detail string  `json:"detail"`
+}
+
 // Collector bundles one run's telemetry: the registry its counter and
-// gauge handles live in, the engine profile, and the sampled timeline.
+// gauge handles live in, the engine profile, the sampled timeline, and
+// the fault timeline.
 type Collector struct {
 	Interval simtime.Duration
 	Registry *Registry
 	Profile  EngineProfile
 	Timeline *Timeline
+	// Faults is the ordered timeline of fault events applied during the
+	// run (empty when no fault injection is configured).
+	Faults []FaultRecord
 
 	profileOnly bool
 	probes      []probe
@@ -81,6 +96,16 @@ func New(opts Options) *Collector {
 
 // ProfileOnly reports whether the time-series sampler is disabled.
 func (c *Collector) ProfileOnly() bool { return c.profileOnly }
+
+// RecordFault appends one event to the fault timeline. The injector
+// calls it at the simulation time the fault is applied, so records are
+// naturally in non-decreasing time order. Safe on a nil collector.
+func (c *Collector) RecordFault(timeUs float64, kind, detail string) {
+	if c == nil {
+		return
+	}
+	c.Faults = append(c.Faults, FaultRecord{TimeUs: timeUs, Kind: kind, Detail: detail})
+}
 
 // AddProbe registers a sampled series: fn is evaluated once per
 // sampling tick and must not mutate simulation state. Probes must be

@@ -30,6 +30,7 @@ type jsonExport struct {
 	Series     []*Series      `json:"series"`
 	Counters   []CounterValue `json:"counters"`
 	Gauges     []GaugeValue   `json:"gauges"`
+	Faults     []FaultRecord  `json:"faults,omitempty"`
 	Profile    jsonProfile    `json:"profile"`
 }
 
@@ -42,6 +43,7 @@ func (c *Collector) WriteJSON(w io.Writer) error {
 		Series:     c.Timeline.Series,
 		Counters:   c.Registry.Counters(),
 		Gauges:     c.Registry.Gauges(),
+		Faults:     c.Faults,
 		Profile: jsonProfile{
 			Events:           c.Profile.Events,
 			HeapHighWater:    c.Profile.HeapHighWater,
@@ -94,8 +96,25 @@ func (t *Timeline) WriteCSV(w io.Writer) error {
 	return cw.Error()
 }
 
+// WriteFaultsCSV exports the fault timeline as CSV (time_us at fixed
+// precision, kind, detail) — one row per applied fault event.
+func (c *Collector) WriteFaultsCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"time_us", "kind", "detail"}); err != nil {
+		return err
+	}
+	for _, f := range c.Faults {
+		if err := cw.Write([]string{fixed(f.TimeUs), f.Kind, f.Detail}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
 // Summary renders a human-readable digest: the engine profile, the
-// registry contents, and the final reading of every sampled series.
+// registry contents, the final reading of every sampled series, and the
+// fault timeline.
 func (c *Collector) Summary() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "engine    %s\n", c.Profile.String())
@@ -119,6 +138,9 @@ func (c *Collector) Summary() string {
 			}
 		}
 		fmt.Fprintf(&b, "series    %-32s last=%.4g max=%.4g\n", s.Name, last, max)
+	}
+	for _, f := range c.Faults {
+		fmt.Fprintf(&b, "fault     t=%-10s %-16s %s\n", fixed(f.TimeUs)+"us", f.Kind, f.Detail)
 	}
 	return b.String()
 }

@@ -221,6 +221,14 @@ func SwitchRef(i int32) NodeRef { return NodeRef{KindSwitch, i} }
 // HostRef returns a NodeRef for host index i.
 func HostRef(i int32) NodeRef { return NodeRef{KindHost, i} }
 
+// String renders the ref for error messages and fault timelines.
+func (r NodeRef) String() string {
+	if r.Kind == KindHost {
+		return fmt.Sprintf("host %d", r.Idx)
+	}
+	return fmt.Sprintf("switch %d", r.Idx)
+}
+
 // Topology is a fully built network: switches, hosts, links and ECMP
 // next-hop tables. Build one with New.
 type Topology struct {

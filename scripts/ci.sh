@@ -35,6 +35,12 @@ go test ./...
 echo "== race =="
 go test -race ./...
 
+echo "== examples smoke =="
+# Run the two examples a newcomer meets first: the README quickstart and
+# the fault-injection experiment (-quick keeps it to a small config).
+go run ./examples/quickstart >/dev/null
+go run ./examples/faults -quick >/dev/null
+
 echo "== benches (one iteration each, smoke) =="
 # Compile-and-run every benchmark once so they cannot bit-rot; the
 # allocation benches (LinkSerializer, EcmpForward, EngineEventsPerSec)

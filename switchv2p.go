@@ -34,6 +34,7 @@ package switchv2p
 import (
 	"time"
 
+	"switchv2p/internal/faults"
 	"switchv2p/internal/harness"
 	"switchv2p/internal/p4model"
 	"switchv2p/internal/simtime"
@@ -79,6 +80,22 @@ type (
 	// MigrationResult is one row of Table 4.
 	MigrationResult = harness.MigrationResult
 
+	// FaultsConfig configures deterministic fault injection on a run
+	// (set Config.Faults to a non-nil value).
+	FaultsConfig = faults.Config
+	// FaultEvent is one scheduled fault (link/switch/gateway failure or
+	// recovery, loss window open/close).
+	FaultEvent = faults.Event
+	// FaultKind is the type of a fault event.
+	FaultKind = faults.Kind
+	// FaultRandomModel generates switch failures from seeded MTBF/MTTR
+	// exponentials.
+	FaultRandomModel = faults.RandomModel
+	// FaultInjector is a run's attached injector (World.Injector).
+	FaultInjector = faults.Injector
+	// NodeRef identifies a switch or host for link-fault endpoints.
+	NodeRef = topology.NodeRef
+
 	// TelemetryOptions enables the observability subsystem on a run
 	// (set Config.Telemetry to a non-nil value).
 	TelemetryOptions = telemetry.Options
@@ -104,6 +121,24 @@ type (
 // simulated time units; bare Duration(d) conversions are rejected by
 // the v2plint simtimeunits analyzer.
 func FromStd(d time.Duration) Duration { return simtime.FromStd(d) }
+
+// Fault event kinds (FaultEvent.Kind).
+const (
+	LinkDown       = faults.LinkDown
+	LinkUp         = faults.LinkUp
+	SwitchFail     = faults.SwitchFail
+	SwitchRecover  = faults.SwitchRecover
+	GatewayOutage  = faults.GatewayOutage
+	GatewayRecover = faults.GatewayRecover
+	LossStart      = faults.LossStart
+	LossEnd        = faults.LossEnd
+)
+
+// SwitchRef and HostRef build link-fault endpoints.
+func SwitchRef(i int32) NodeRef { return topology.SwitchRef(i) }
+
+// HostRef returns a NodeRef for host index i.
+func HostRef(i int32) NodeRef { return topology.HostRef(i) }
 
 // Scheme names accepted in Config.Scheme.
 const (
