@@ -4,6 +4,8 @@
 // Standalone:
 //
 //	go run ./cmd/v2plint ./...
+//	go run ./cmd/v2plint -json ./...   # machine-readable findings
+//	go run ./cmd/v2plint -fix ./...    # apply suggested fixes in place
 //
 // Under the standard vet driver:
 //
@@ -11,17 +13,20 @@
 //	go vet -vettool=/tmp/v2plint ./...
 //
 // The exit code is 0 when the packages are clean and nonzero when any
-// analyzer reports a finding. A finding can be waived with a
-// `//v2plint:allow <analyzer>` comment on or directly above the
-// offending line.
+// analyzer reports a finding; with -fix, findings that were repaired in
+// place do not count against the exit code. A finding can be waived
+// with a `//v2plint:allow <analyzer> <reason>` comment on or directly
+// above the offending line — the reason is mandatory (allowreason).
 package main
 
 import (
 	"crypto/sha256"
+	"encoding/json"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"switchv2p/internal/analysis/v2plint"
@@ -47,34 +52,138 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return v2plint.RunVetTool(args[0], stderr)
 		}
 	}
+	var jsonOut, applyFixes bool
+	var patterns []string
 	for _, a := range args {
-		if a == "-h" || a == "-help" || a == "--help" {
+		switch a {
+		case "-json", "--json":
+			jsonOut = true
+		case "-fix", "--fix":
+			applyFixes = true
+		case "-h", "-help", "--help":
 			usage(stdout)
 			return 0
+		default:
+			if strings.HasPrefix(a, "-") {
+				fmt.Fprintf(stderr, "v2plint: unknown flag %s\n", a)
+				usage(stderr)
+				return 1
+			}
+			patterns = append(patterns, a)
 		}
 	}
 
-	pkgs, err := v2plint.LoadPackages("", args)
+	pkgs, err := v2plint.LoadPackages("", patterns)
 	if err != nil {
 		fmt.Fprintf(stderr, "v2plint: %v\n", err)
 		return 1
 	}
-	findings := 0
+	var diags []v2plint.Diagnostic
 	for _, p := range pkgs {
-		for _, d := range v2plint.RunPackage(p.Fset, p.Files, p.Pkg, p.Info, v2plint.Analyzers()) {
-			fmt.Fprintf(stdout, "%s: %s: %s\n", p.Fset.Position(d.Pos), d.Analyzer, d.Message)
-			findings++
+		diags = append(diags, v2plint.RunPackage(p.Fset, p.Files, p.Pkg, p.Info, v2plint.Analyzers())...)
+	}
+	if len(pkgs) == 0 {
+		if jsonOut {
+			fmt.Fprintln(stdout, "[]")
+		}
+		return 0
+	}
+	// All loaded packages share one FileSet.
+	fs := pkgs[0].Fset
+
+	if applyFixes {
+		fixed, err := v2plint.ApplyFixes(fs, diags)
+		if err != nil {
+			fmt.Fprintf(stderr, "v2plint: %v\n", err)
+			return 1
+		}
+		files := make([]string, 0, len(fixed))
+		for file := range fixed {
+			files = append(files, file)
+		}
+		sort.Strings(files)
+		for _, file := range files {
+			content := fixed[file]
+			mode := os.FileMode(0o644)
+			if st, err := os.Stat(file); err == nil {
+				mode = st.Mode().Perm()
+			}
+			if err := os.WriteFile(file, content, mode); err != nil {
+				fmt.Fprintf(stderr, "v2plint: %v\n", err)
+				return 1
+			}
+			fmt.Fprintf(stderr, "v2plint: fixed %s\n", relPath(file))
+		}
+		// Only findings without a fix remain actionable.
+		var rest []v2plint.Diagnostic
+		for _, d := range diags {
+			if len(d.Fixes) == 0 {
+				rest = append(rest, d)
+			}
+		}
+		diags = rest
+	}
+
+	if jsonOut {
+		type finding struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Col      int    `json:"col"`
+			Analyzer string `json:"analyzer"`
+			Message  string `json:"message"`
+			Fix      string `json:"fix,omitempty"`
+		}
+		out := make([]finding, 0, len(diags))
+		for _, d := range diags {
+			pos := fs.Position(d.Pos)
+			f := finding{
+				File:     relPath(pos.Filename),
+				Line:     pos.Line,
+				Col:      pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			}
+			if len(d.Fixes) > 0 {
+				f.Fix = d.Fixes[0].Message
+			}
+			out = append(out, f)
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(stderr, "v2plint: %v\n", err)
+			return 1
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintf(stdout, "%s: %s: %s\n", fs.Position(d.Pos), d.Analyzer, d.Message)
 		}
 	}
-	if findings > 0 {
-		fmt.Fprintf(stderr, "v2plint: %d finding(s)\n", findings)
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "v2plint: %d finding(s)\n", len(diags))
 		return 2
 	}
 	return 0
 }
 
+// relPath shortens a file path relative to the working directory for
+// readable output; absolute paths are kept when outside it.
+func relPath(file string) string {
+	wd, err := os.Getwd()
+	if err != nil {
+		return file
+	}
+	rel, err := filepath.Rel(wd, file)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return file
+	}
+	return rel
+}
+
 func usage(w io.Writer) {
-	fmt.Fprintln(w, "usage: v2plint [packages]")
+	fmt.Fprintln(w, "usage: v2plint [-json] [-fix] [packages]")
+	fmt.Fprintln(w, "  -json  emit findings as a JSON array (file/line/col/analyzer/message/fix)")
+	fmt.Fprintln(w, "  -fix   apply suggested fixes in place; unfixable findings still fail")
 	fmt.Fprintln(w, "\nAnalyzers:")
 	for _, a := range v2plint.Analyzers() {
 		fmt.Fprintf(w, "  %-14s %s\n", a.Name, a.Doc)

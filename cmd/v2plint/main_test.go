@@ -41,6 +41,30 @@ func TestFlagsProbe(t *testing.T) {
 	}
 }
 
+// TestJSONCleanOutput pins the machine-readable contract ci.sh relies
+// on: a clean run with -json prints an empty JSON array (never empty
+// output) and exits 0.
+func TestJSONCleanOutput(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-json", "switchv2p/internal/simtime"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("-json on clean package: exit %d\n%s%s", code, stdout.String(), stderr.String())
+	}
+	if got := strings.TrimSpace(stdout.String()); got != "[]" {
+		t.Fatalf("-json clean output = %q, want []", got)
+	}
+}
+
+func TestUnknownFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-bogus"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("unknown flag: exit %d, want 1", code)
+	}
+	if !strings.Contains(stderr.String(), "unknown flag") {
+		t.Fatalf("unknown flag: stderr %q does not mention it", stderr.String())
+	}
+}
+
 // TestVetToolProtocol builds the binary and runs it under the real
 // `go vet -vettool=` driver on a couple of simulation packages.
 func TestVetToolProtocol(t *testing.T) {

@@ -1,0 +1,45 @@
+package v2plint
+
+// AllowReason polices the waiver escape hatch itself: every
+// `//v2plint:allow` annotation must name at least one analyzer AND
+// carry a free-form justification after the analyzer list, e.g.
+//
+//	//v2plint:allow wallclock profiling hook measures host time
+//
+// A waiver without a reason is a finding; a reviewer six months later
+// should never have to reverse-engineer why a contract was suspended.
+// Findings from this analyzer are exempt from waiving (a waiver cannot
+// excuse itself); the suggested fix deletes the bare annotation, which
+// re-surfaces whatever finding it was hiding so it can be fixed or
+// re-waived with a reason.
+var AllowReason = &Analyzer{
+	Name: "allowreason",
+	Doc: "requires every //v2plint:allow waiver to carry a justification after " +
+		"the analyzer list; bare waivers are findings and cannot waive themselves",
+	Run: runAllowReason,
+}
+
+func runAllowReason(pass *Pass) {
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f) {
+			continue
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				fields, ok := allowFields(c)
+				if !ok || len(fields) >= 2 {
+					continue
+				}
+				msg := "//v2plint:allow waiver names analyzers but no reason; append a justification after the analyzer list"
+				if len(fields) == 0 {
+					msg = "//v2plint:allow waiver names no analyzer and no reason; write `//v2plint:allow <analyzer> <reason>`"
+				}
+				fix := SuggestedFix{
+					Message: "delete the bare waiver",
+					Edits:   []TextEdit{{Pos: c.Pos(), End: c.End(), NewText: nil}},
+				}
+				pass.ReportfFix(c.Pos(), fix, "%s", msg)
+			}
+		}
+	}
+}

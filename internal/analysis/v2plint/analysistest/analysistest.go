@@ -2,7 +2,14 @@
 // analyzers, mirroring golang.org/x/tools/go/analysis/analysistest:
 // each package under testdata/src is parsed, type-checked, and
 // analyzed, and the diagnostics are matched against `// want "regex"`
-// comments on the offending lines.
+// comments on the offending lines. A `// want-above "regex"` comment
+// matches a diagnostic on the line directly above it instead — needed
+// when the offending line already carries another machine-read comment
+// (e.g. a //v2plint:allow annotation under test by allowreason).
+//
+// RunWithSuggestedFixes additionally applies every suggested fix and
+// compares each rewritten file against a sibling `<file>.golden` file,
+// so the fixes cmd/v2plint -fix would make are pinned byte-for-byte.
 //
 // Imports inside testdata packages resolve first against other
 // testdata/src packages (letting tests stub simulation packages like
@@ -60,6 +67,74 @@ func Run(t *testing.T, testdata string, a *v2plint.Analyzer, pkgPaths ...string)
 		pkg, info := imp.check(path, files)
 		diags := v2plint.RunPackage(fset, files, pkg, info, []*v2plint.Analyzer{a})
 		checkWants(t, fset, files, diags)
+	}
+}
+
+// RunWithSuggestedFixes is Run plus golden-file fix assertions: every
+// suggested fix in the package's diagnostics is applied, and each
+// rewritten file must match its `<file>.golden` sibling byte-for-byte.
+// A missing golden file for a fixed file, or a stray golden file whose
+// source produced no fixes, is an error — goldens cannot silently go
+// stale.
+func RunWithSuggestedFixes(t *testing.T, testdata string, a *v2plint.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	imp := &testImporter{
+		fset: fset,
+		src:  filepath.Join(testdata, "src"),
+		std:  importer.ForCompiler(fset, "source", nil),
+		pkgs: map[string]*types.Package{},
+	}
+	for _, path := range pkgPaths {
+		files, err := imp.parseDir(path, true)
+		if err != nil {
+			t.Fatalf("analysistest: %v", err)
+		}
+		pkg, info := imp.check(path, files)
+		diags := v2plint.RunPackage(fset, files, pkg, info, []*v2plint.Analyzer{a})
+		checkWants(t, fset, files, diags)
+
+		fixed, err := v2plint.ApplyFixes(fset, diags)
+		if err != nil {
+			t.Errorf("analysistest: applying fixes in %s: %v", path, err)
+			continue
+		}
+		for file, got := range fixed {
+			golden := file + ".golden"
+			want, err := os.ReadFile(golden)
+			if err == nil && string(got) == string(want) {
+				continue
+			}
+			// V2PLINT_UPDATE_GOLDENS=1 regenerates goldens from the
+			// current fix output instead of failing (review the diff).
+			if os.Getenv("V2PLINT_UPDATE_GOLDENS") != "" {
+				if werr := os.WriteFile(golden, got, 0o644); werr != nil {
+					t.Errorf("analysistest: updating %s: %v", golden, werr)
+				}
+				continue
+			}
+			if err != nil {
+				t.Errorf("analysistest: fixes rewrote %s but reading its golden failed: %v\n-- fixed output --\n%s", file, err, got)
+				continue
+			}
+			t.Errorf("analysistest: fixed %s does not match %s\n-- got --\n%s-- want --\n%s", file, golden, got, want)
+		}
+		// Stray goldens: every golden in the package dir must belong to
+		// a file the fixes actually rewrote.
+		dir := filepath.Join(testdata, "src", path)
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatalf("analysistest: %v", err)
+		}
+		for _, e := range entries {
+			if !strings.HasSuffix(e.Name(), ".golden") {
+				continue
+			}
+			src := filepath.Join(dir, strings.TrimSuffix(e.Name(), ".golden"))
+			if _, ok := fixed[src]; !ok {
+				t.Errorf("analysistest: stale golden %s: %s produced no fixes", filepath.Join(dir, e.Name()), src)
+			}
+		}
 	}
 }
 
@@ -144,11 +219,19 @@ func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*want 
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
-				if !strings.HasPrefix(text, "want ") {
+				var rest string
+				lineDelta := 0
+				switch {
+				case strings.HasPrefix(text, "want "):
+					rest = text[len("want "):]
+				case strings.HasPrefix(text, "want-above "):
+					rest = text[len("want-above "):]
+					lineDelta = -1
+				default:
 					continue
 				}
 				pos := fset.Position(c.Pos())
-				for _, q := range quotedRe.FindAllString(text[len("want "):], -1) {
+				for _, q := range quotedRe.FindAllString(rest, -1) {
 					raw, err := strconv.Unquote(q)
 					if err != nil {
 						t.Fatalf("%s: bad want pattern %s: %v", pos, q, err)
@@ -157,7 +240,7 @@ func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*want 
 					if err != nil {
 						t.Fatalf("%s: bad want regexp %q: %v", pos, raw, err)
 					}
-					wants = append(wants, &want{file: pos.Filename, line: pos.Line, rx: rx})
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line + lineDelta, rx: rx})
 				}
 			}
 		}

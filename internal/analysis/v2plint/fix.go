@@ -1,0 +1,73 @@
+package v2plint
+
+// Suggested-fix application: turning the TextEdits attached to
+// diagnostics into rewritten file contents. Used by `cmd/v2plint -fix`
+// and by the analysistest harness's .golden assertions.
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"sort"
+)
+
+// ApplyFixes applies every suggested fix attached to diags and returns
+// the rewritten contents keyed by file path. Diagnostics without fixes
+// are ignored. Edits within one file must not overlap; zero-length
+// edits (pure insertions) at the same offset are also rejected, since
+// their relative order would be ambiguous.
+func ApplyFixes(fset *token.FileSet, diags []Diagnostic) (map[string][]byte, error) {
+	type edit struct {
+		start, end int
+		text       []byte
+	}
+	perFile := map[string][]edit{}
+	for _, d := range diags {
+		for _, fix := range d.Fixes {
+			for _, e := range fix.Edits {
+				pos := fset.Position(e.Pos)
+				end := pos
+				if e.End.IsValid() {
+					end = fset.Position(e.End)
+				}
+				if end.Filename != pos.Filename {
+					return nil, fmt.Errorf("v2plint: fix %q spans files %s and %s", fix.Message, pos.Filename, end.Filename)
+				}
+				if end.Offset < pos.Offset {
+					return nil, fmt.Errorf("v2plint: fix %q has end before start at %s", fix.Message, pos)
+				}
+				perFile[pos.Filename] = append(perFile[pos.Filename], edit{pos.Offset, end.Offset, e.NewText})
+			}
+		}
+	}
+	files := make([]string, 0, len(perFile))
+	for file := range perFile {
+		files = append(files, file)
+	}
+	sort.Strings(files)
+	out := make(map[string][]byte, len(perFile))
+	for _, file := range files {
+		edits := perFile[file]
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return nil, fmt.Errorf("v2plint: applying fixes: %w", err)
+		}
+		sort.SliceStable(edits, func(i, j int) bool { return edits[i].start < edits[j].start })
+		var buf []byte
+		prev := 0
+		for i, e := range edits {
+			if e.start < prev || (i > 0 && e.start == edits[i-1].start) {
+				return nil, fmt.Errorf("v2plint: overlapping fixes in %s at offset %d", file, e.start)
+			}
+			if e.end > len(src) {
+				return nil, fmt.Errorf("v2plint: fix past end of %s", file)
+			}
+			buf = append(buf, src[prev:e.start]...)
+			buf = append(buf, e.text...)
+			prev = e.end
+		}
+		buf = append(buf, src[prev:]...)
+		out[file] = buf
+	}
+	return out, nil
+}

@@ -1,0 +1,260 @@
+package v2plint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path"
+)
+
+// HotPathAlloc enforces the allocation-free hot-path contract from the
+// simulator's event loop (PR 3 measured a 9.1x run-alloc win; this pins
+// it). A function is on the hot path when its doc comment carries a
+// `//v2plint:hotpath` marker, or when it is one of the known
+// serializer/ECMP/eventq entry points — the known set means deleting an
+// annotation cannot silently un-enforce the core of the contract.
+//
+// Inside a hot-path function the analyzer flags every construct that
+// heap-allocates per call: function literals (escaping closures), map
+// and slice composite literals, &T{...} literals, make/new, calls into
+// package fmt, non-constant string concatenation, boxing a
+// non-pointer-shaped value into an interface, and append whose
+// destination is a slice declared inside the function (growth cannot
+// amortize into a pooled buffer). Value-typed struct literals and
+// appends to fields or parameters are allowed: those are exactly the
+// pooling idioms the hot path is built on.
+var HotPathAlloc = &Analyzer{
+	Name: "hotpathalloc",
+	Doc: "forbids heap-allocating constructs (closures, map/slice literals, " +
+		"make/new, interface boxing, fmt, string concatenation, appends to " +
+		"function-local slices) in //v2plint:hotpath functions and the known " +
+		"serializer/ECMP/eventq entry points",
+	Run: runHotPathAlloc,
+}
+
+// knownHotPath names the entry points checked even without an
+// annotation, keyed by package-path base and funcKey.
+var knownHotPath = map[string]map[string]bool{
+	"simnet": {
+		"link.enqueue":       true,
+		"link.startNext":     true,
+		"link.serializeNext": true,
+		"link.getEvent":      true,
+		"linkEvent.Fire":     true,
+		"Engine.ecmpForward": true,
+	},
+	"eventq": {
+		"Queue.AtTimed":    true,
+		"Queue.AfterTimed": true,
+		"Queue.Step":       true,
+	},
+}
+
+func runHotPathAlloc(pass *Pass) {
+	pkgBase := path.Base(pass.Pkg.Path())
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if !funcAnnotated(fn, "hotpath") && !knownHotPath[pkgBase][funcKey(fn)] {
+				continue
+			}
+			checkHotPathBody(pass, fn)
+		}
+	}
+}
+
+func checkHotPathBody(pass *Pass, fn *ast.FuncDecl) {
+	name := funcKey(fn)
+	info := pass.TypesInfo
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "closure in hot-path function %s allocates per call; use a pooled typed event (eventq.Timed) instead", name)
+			return false // the closure body is off the hot path
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, isLit := n.X.(*ast.CompositeLit); isLit {
+					pass.Reportf(n.Pos(), "&-composite literal in hot-path function %s heap-allocates per call; reuse a pooled record", name)
+					return false
+				}
+			}
+		case *ast.CompositeLit:
+			t := info.TypeOf(n)
+			if t == nil {
+				return true
+			}
+			switch t.Underlying().(type) {
+			case *types.Map:
+				pass.Reportf(n.Pos(), "map literal in hot-path function %s heap-allocates per call", name)
+			case *types.Slice:
+				pass.Reportf(n.Pos(), "slice literal in hot-path function %s heap-allocates per call", name)
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD {
+				t := info.TypeOf(n)
+				if t != nil && isStringType(t) && !isConstExpr(info, n) {
+					pass.Reportf(n.Pos(), "string concatenation in hot-path function %s heap-allocates per call; precompute or use a pooled buffer", name)
+				}
+			}
+		case *ast.CallExpr:
+			checkHotPathCall(pass, name, fn, n)
+		}
+		return true
+	})
+}
+
+func checkHotPathCall(pass *Pass, fnName string, fn *ast.FuncDecl, call *ast.CallExpr) {
+	info := pass.TypesInfo
+	// Builtins: make/new allocate; append is checked against its
+	// destination; panic/len/cap/copy/delete and friends are fine.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			switch b.Name() {
+			case "make", "new":
+				pass.Reportf(call.Pos(), "%s in hot-path function %s heap-allocates per call; allocate at construction time", b.Name(), fnName)
+			case "append":
+				checkHotPathAppend(pass, fnName, fn, call)
+			}
+			return
+		}
+	}
+	// fmt is allocation-heavy (boxing + formatting state).
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if _, pkgPath, ok := pkgFunc(info, sel); ok && pkgPath == "fmt" {
+			pass.Reportf(call.Pos(), "fmt call in hot-path function %s allocates per call; move formatting off the hot path", fnName)
+			return
+		}
+	}
+	// Conversions: T(x) where T is an interface type boxes x.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 {
+			checkBoxing(pass, fnName, tv.Type, call.Args[0])
+		}
+		return
+	}
+	// Ordinary calls: passing a concrete value where the callee takes
+	// an interface boxes the argument.
+	sig := callSignature(info, call)
+	if sig == nil {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // slice passed through, no per-element boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		checkBoxing(pass, fnName, pt, arg)
+	}
+}
+
+// checkBoxing reports when assigning arg to a parameter/target of type
+// to would box a non-pointer-shaped concrete value into an interface.
+// Pointer-shaped values (pointers, channels, maps, funcs, unsafe
+// pointers) convert without allocating, as do nil and values that are
+// already interfaces.
+func checkBoxing(pass *Pass, fnName string, to types.Type, arg ast.Expr) {
+	if to == nil {
+		return
+	}
+	if _, isIface := to.Underlying().(*types.Interface); !isIface {
+		return
+	}
+	info := pass.TypesInfo
+	at := info.TypeOf(arg)
+	if at == nil {
+		return
+	}
+	if b, ok := at.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return
+	}
+	if _, ok := at.Underlying().(*types.Interface); ok {
+		return
+	}
+	if isConstExpr(info, arg) {
+		// Constants box once into the interface conversion's static
+		// data in practice (and are rare enough not to police).
+		return
+	}
+	if pointerShaped(at) {
+		return
+	}
+	pass.Reportf(arg.Pos(), "boxing %s into interface %s in hot-path function %s heap-allocates per call; pass a pointer or a pre-boxed value", at, to, fnName)
+}
+
+// checkHotPathAppend flags append whose destination slice is declared
+// inside the function body: its growth cannot be pooled across calls.
+// Appends to struct fields, package variables, and parameters are the
+// designed pooling idiom (amortized to zero) and are allowed.
+func checkHotPathAppend(pass *Pass, fnName string, fn *ast.FuncDecl, call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	id, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		obj = pass.TypesInfo.Defs[id]
+	}
+	if obj == nil || !obj.Pos().IsValid() {
+		return
+	}
+	if fn.Body != nil && obj.Pos() >= fn.Body.Pos() && obj.Pos() < fn.Body.End() {
+		pass.Reportf(call.Pos(), "append to function-local slice %s in hot-path function %s allocates on growth every call; reuse a pooled buffer (field or parameter)", id.Name, fnName)
+	}
+}
+
+// pointerShaped reports whether values of t fit in an interface word
+// without heap allocation.
+func pointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// isConstExpr reports whether the expression has a compile-time
+// constant value (constant folding means it never allocates at run
+// time).
+func isConstExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Value != nil
+}
+
+// callSignature resolves the signature of an ordinary (non-builtin,
+// non-conversion) call.
+func callSignature(info *types.Info, call *ast.CallExpr) *types.Signature {
+	t := info.TypeOf(call.Fun)
+	if t == nil {
+		return nil
+	}
+	sig, ok := t.Underlying().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	return sig
+}

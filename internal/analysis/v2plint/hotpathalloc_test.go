@@ -1,0 +1,18 @@
+package v2plint_test
+
+import (
+	"testing"
+
+	"switchv2p/internal/analysis/v2plint"
+	"switchv2p/internal/analysis/v2plint/analysistest"
+)
+
+func TestHotPathAlloc(t *testing.T) {
+	// "hotpathalloc" seeds violations in annotated functions,
+	// "hotpathalloc/simnet" proves the known entry points are checked
+	// without annotations, and "hotpathneg" is the scoping negative:
+	// the same constructs unannotated (including a detached marker)
+	// must report nothing.
+	analysistest.Run(t, analysistest.TestData(t), v2plint.HotPathAlloc,
+		"hotpathalloc", "hotpathalloc/simnet", "hotpathneg")
+}

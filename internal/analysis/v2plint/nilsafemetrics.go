@@ -1,0 +1,213 @@
+package v2plint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path"
+	"strings"
+)
+
+// NilSafeMetrics enforces the telemetry nil-safety contract: every
+// metric handle is usable when telemetry is disabled, because a nil
+// *Counter/*Gauge/*Collector is a valid no-op receiver. The simulator
+// hot path relies on this — `e.BufGauge.Set(...)` runs unconditionally
+// and must cost one branch, not a nil-pointer panic, when no registry
+// is attached. The contract therefore is: every exported method with a
+// pointer receiver on a telemetry type (any type in a package whose
+// path base is "telemetry", or any type annotated //v2plint:nilsafe)
+// must begin with a nil-receiver guard.
+//
+// The guard must be the method's first statement: an if whose condition
+// compares the receiver against nil. Unexported methods, value
+// receivers, unnamed receivers, and empty bodies are exempt. The
+// suggested fix inserts `if r == nil { return <zero values> }` when
+// every result type has a spellable zero value.
+var NilSafeMetrics = &Analyzer{
+	Name: "nilsafemetrics",
+	Doc: "requires every exported pointer-receiver method on telemetry types " +
+		"(and //v2plint:nilsafe-annotated types) to begin with a nil-receiver guard",
+	Run: runNilSafeMetrics,
+}
+
+func runNilSafeMetrics(pass *Pass) {
+	inTelemetry := path.Base(pass.Pkg.Path()) == "telemetry"
+	annotated := nilsafeTypes(pass)
+	if !inTelemetry && len(annotated) == 0 {
+		return
+	}
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || fn.Recv == nil || len(fn.Recv.List) == 0 {
+				continue
+			}
+			if !fn.Name.IsExported() || len(fn.Body.List) == 0 {
+				continue
+			}
+			recvName, typeName, ok := pointerRecv(fn)
+			if !ok {
+				continue
+			}
+			if !inTelemetry && !annotated[typeName] {
+				continue
+			}
+			if recvName == "" || recvName == "_" {
+				continue
+			}
+			if hasNilGuard(fn.Body.List[0], recvName) {
+				continue
+			}
+			reportMissingGuard(pass, fn, recvName, typeName)
+		}
+	}
+}
+
+// nilsafeTypes collects type names annotated //v2plint:nilsafe (on the
+// TypeSpec's doc comment, or on a single-spec type declaration's doc).
+func nilsafeTypes(pass *Pass) map[string]bool {
+	out := map[string]bool{}
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if docAnnotated(ts.Doc, "nilsafe") || (len(gd.Specs) == 1 && docAnnotated(gd.Doc, "nilsafe")) {
+					out[ts.Name.Name] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// pointerRecv returns the receiver variable name and base type name
+// when fn has a named pointer receiver.
+func pointerRecv(fn *ast.FuncDecl) (recvName, typeName string, ok bool) {
+	field := fn.Recv.List[0]
+	star, isPtr := field.Type.(*ast.StarExpr)
+	if !isPtr {
+		return "", "", false
+	}
+	base := star.X
+	switch ix := base.(type) {
+	case *ast.IndexExpr:
+		base = ix.X
+	case *ast.IndexListExpr:
+		base = ix.X
+	}
+	id, isIdent := base.(*ast.Ident)
+	if !isIdent {
+		return "", "", false
+	}
+	if len(field.Names) > 0 {
+		recvName = field.Names[0].Name
+	}
+	return recvName, id.Name, true
+}
+
+// hasNilGuard reports whether stmt is an if whose condition compares
+// the receiver against nil (either polarity; compound conditions that
+// include the comparison count).
+func hasNilGuard(stmt ast.Stmt, recvName string) bool {
+	ifs, ok := stmt.(*ast.IfStmt)
+	if !ok {
+		return false
+	}
+	found := false
+	ast.Inspect(ifs.Cond, func(n ast.Node) bool {
+		b, ok := n.(*ast.BinaryExpr)
+		if !ok || (b.Op != token.EQL && b.Op != token.NEQ) {
+			return true
+		}
+		if (isIdentNamed(b.X, recvName) && isNilIdent(b.Y)) ||
+			(isIdentNamed(b.Y, recvName) && isNilIdent(b.X)) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func isIdentNamed(e ast.Expr, name string) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == name
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+func reportMissingGuard(pass *Pass, fn *ast.FuncDecl, recvName, typeName string) {
+	msg := "exported method %s.%s must start with a nil-receiver guard (nil telemetry handles are no-ops by contract)"
+	zero, ok := zeroReturn(pass, fn)
+	if !ok {
+		pass.Reportf(fn.Name.Pos(), msg, typeName, fn.Name.Name)
+		return
+	}
+	guard := fmt.Sprintf("if %s == nil {\n\t\t%s\n\t}\n\t", recvName, zero)
+	fix := SuggestedFix{
+		Message: "insert nil-receiver guard",
+		Edits:   []TextEdit{{Pos: fn.Body.List[0].Pos(), NewText: []byte(guard)}},
+	}
+	pass.ReportfFix(fn.Name.Pos(), fix, msg, typeName, fn.Name.Name)
+}
+
+// zeroReturn builds the guard's return statement from the method's
+// result types, or ok=false when some result has no spellable zero
+// value (e.g. a struct), in which case no fix is offered.
+func zeroReturn(pass *Pass, fn *ast.FuncDecl) (string, bool) {
+	obj, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func)
+	if !ok {
+		return "", false
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok {
+		return "", false
+	}
+	results := sig.Results()
+	if results.Len() == 0 {
+		return "return", true
+	}
+	zeros := make([]string, results.Len())
+	for i := 0; i < results.Len(); i++ {
+		z, ok := zeroValue(results.At(i).Type())
+		if !ok {
+			return "", false
+		}
+		zeros[i] = z
+	}
+	return "return " + strings.Join(zeros, ", "), true
+}
+
+func zeroValue(t types.Type) (string, bool) {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan, *types.Signature, *types.Interface:
+		return "nil", true
+	case *types.Basic:
+		switch {
+		case u.Info()&types.IsBoolean != 0:
+			return "false", true
+		case u.Info()&types.IsString != 0:
+			return `""`, true
+		case u.Info()&types.IsNumeric != 0:
+			return "0", true
+		}
+	}
+	return "", false
+}

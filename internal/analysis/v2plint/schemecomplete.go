@@ -1,0 +1,118 @@
+package v2plint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path"
+)
+
+// SchemeComplete audits the scheme surface: every concrete type that
+// satisfies simnet.Scheme must also satisfy simnet.CacheFlusher. Fault
+// injection (PR 4) flushes a failed switch's V2P state through the
+// CacheFlusher hook on every scheme; a scheme without the method would
+// silently keep stale translations across a switch failure and skew
+// the recovery experiments the paper's §6 evaluation rests on.
+// Stateless schemes implement it as an explicit no-op — the no-op is a
+// reviewed statement that there is nothing to flush, not an accident.
+//
+// The check is types-based (types.Implements on the pointer type, whose
+// method set subsumes the value receiver's) and runs over any package
+// that defines or imports a package whose path base is "simnet" with
+// both interfaces in scope. The suggested fix appends a no-op
+// FlushCache stub at the end of the defining file.
+var SchemeComplete = &Analyzer{
+	Name: "schemecomplete",
+	Doc: "requires every concrete type implementing simnet.Scheme to also " +
+		"implement simnet.CacheFlusher, so fault recovery can flush any scheme",
+	Run: runSchemeComplete,
+}
+
+func runSchemeComplete(pass *Pass) {
+	scheme, flusher := schemeInterfaces(pass.Pkg)
+	if scheme == nil || flusher == nil {
+		return
+	}
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				checkSchemeType(pass, f, ts, scheme, flusher)
+			}
+		}
+	}
+}
+
+func checkSchemeType(pass *Pass, f *ast.File, ts *ast.TypeSpec, scheme, flusher *types.Interface) {
+	obj, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName)
+	if !ok || obj.IsAlias() {
+		return
+	}
+	named, ok := obj.Type().(*types.Named)
+	if !ok || named.TypeParams().Len() > 0 {
+		return
+	}
+	if _, isIface := named.Underlying().(*types.Interface); isIface {
+		return
+	}
+	ptr := types.NewPointer(named)
+	if !types.Implements(ptr, scheme) || types.Implements(ptr, flusher) {
+		return
+	}
+	name := ts.Name.Name
+	// Append the stub at the true end of the file (File.End() can
+	// precede trailing comments).
+	tf := pass.Fset.File(f.Pos())
+	eof := tf.Pos(tf.Size())
+	stub := fmt.Sprintf("\n// FlushCache implements simnet.CacheFlusher. %s holds no per-switch\n"+
+		"// translation state, so a switch failure flushes nothing. If the scheme\n"+
+		"// grows switch-resident state, clear it here.\n"+
+		"func (*%s) FlushCache(int32) {}\n", name, name)
+	fix := SuggestedFix{
+		Message: "add a no-op FlushCache stub",
+		Edits:   []TextEdit{{Pos: eof, NewText: []byte(stub)}},
+	}
+	pass.ReportfFix(ts.Name.Pos(), fix,
+		"%s implements simnet.Scheme but not simnet.CacheFlusher; fault recovery cannot flush its per-switch state (add FlushCache, a no-op if stateless)", name)
+}
+
+// schemeInterfaces resolves the Scheme and CacheFlusher interfaces from
+// the package itself (when its path base is "simnet") or from a
+// "simnet" import.
+func schemeInterfaces(pkg *types.Package) (scheme, flusher *types.Interface) {
+	lookup := func(p *types.Package) (*types.Interface, *types.Interface) {
+		return ifaceByName(p, "Scheme"), ifaceByName(p, "CacheFlusher")
+	}
+	if path.Base(pkg.Path()) == "simnet" {
+		return lookup(pkg)
+	}
+	for _, imp := range pkg.Imports() {
+		if path.Base(imp.Path()) == "simnet" {
+			return lookup(imp)
+		}
+	}
+	return nil, nil
+}
+
+func ifaceByName(p *types.Package, name string) *types.Interface {
+	obj, ok := p.Scope().Lookup(name).(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	iface, ok := obj.Type().Underlying().(*types.Interface)
+	if !ok {
+		return nil
+	}
+	return iface
+}

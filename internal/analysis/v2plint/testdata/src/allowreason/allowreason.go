@@ -1,0 +1,29 @@
+// Package allowreason seeds //v2plint:allow annotations in every
+// arity: only waivers missing a justification are findings. The
+// diagnostics land on the annotation's own line, so the want comments
+// use the harness's want-above form from the next line.
+package allowreason
+
+// justified carries an analyzer name and a reason. Silent.
+func justified() {
+	//v2plint:allow wallclock host-time stub for the waiver-grammar test
+}
+
+// bare names an analyzer but gives no reason.
+func bare() {
+	//v2plint:allow detrange
+	// want-above `waiver names analyzers but no reason; append a justification`
+}
+
+// empty names nothing at all.
+func empty() {
+	//v2plint:allow
+	// want-above `waiver names no analyzer and no reason`
+}
+
+// selfWaive proves a waiver cannot excuse the allowreason finding it
+// itself triggers.
+func selfWaive() {
+	//v2plint:allow allowreason
+	// want-above `waiver names analyzers but no reason`
+}

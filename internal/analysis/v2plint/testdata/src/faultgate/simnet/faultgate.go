@@ -1,0 +1,108 @@
+// Package simnet stubs the engine fault model for the faultgate
+// analyzer: forwarding-path reads of fault state must be dominated by
+// an activeFaults check, loss PRNG use by a loss-window check, and
+// calls into fault-path helpers by an activeFaults check.
+package simnet
+
+type prng struct{}
+
+func (p *prng) Float64() float64 { return 0 }
+
+type packet struct{ dst int }
+
+type Engine struct {
+	activeFaults int
+	swDown       []bool
+	gwDown       []bool
+	lossRand     *prng
+}
+
+func (e *Engine) ActiveFaults() int { return e.activeFaults }
+
+type link struct {
+	e         *Engine
+	faultDown bool
+	swFaults  uint8
+	loss      float64
+}
+
+// switchArrive is a known forwarding entry point reading fault state
+// without a gate; the suggested fix prefixes the condition.
+func (e *Engine) switchArrive(sw int, p *packet) {
+	if e.swDown[sw] { // want `read of fault state e\.swDown must be dominated by an activeFaults check`
+		return
+	}
+}
+
+// forwardFromSwitch shows both gated forms: on the right of && and
+// inside a nested if under an ActiveFaults() call. Silent.
+func (e *Engine) forwardFromSwitch(sw int, p *packet) {
+	if e.activeFaults > 0 && e.swDown[sw] {
+		return
+	}
+	if e.ActiveFaults() > 0 {
+		if e.gwDown[p.dst] {
+			return
+		}
+	}
+}
+
+// ecmpForward reads two link fault fields in one ungated || condition;
+// the fix must wrap the whole condition in parentheses.
+func (e *Engine) ecmpForward(l *link, p *packet) {
+	if l.faultDown || l.swFaults != 0 { // want `read of fault state l\.faultDown must be dominated by an activeFaults check` `read of fault state l\.swFaults must be dominated by an activeFaults check`
+		return
+	}
+}
+
+// enqueue exercises the loss PRNG rule: gated by a loss-window read is
+// fine, ungated is a finding (with no machine fix — only the
+// surrounding code can name the right loss window).
+func (l *link) enqueue(p *packet) {
+	if l.loss > 0 {
+		_ = l.e.lossRand.Float64()
+	}
+	_ = l.e.lossRand.Float64() // want `use of loss PRNG l\.e\.lossRand must be dominated by a loss-window or activeFaults check`
+}
+
+// rerouteLocal is an annotated fault-path helper: it IS the gated slow
+// path, so its own fault-state reads are exempt.
+//
+//v2plint:faultpath
+func (e *Engine) rerouteLocal(p *packet) {
+	if e.swDown[p.dst] {
+		return
+	}
+}
+
+// forward joins the hot path by annotation and must gate its calls
+// into fault-path helpers.
+//
+//v2plint:hotpath
+func (e *Engine) forward(p *packet) {
+	e.rerouteLocal(p) // want `call to fault-path helper Engine\.rerouteLocal from Engine\.forward must be dominated by an activeFaults check`
+	if e.activeFaults > 0 {
+		e.rerouteLocal(p)
+	}
+}
+
+// rerouteGateway is exempt by the known fault-path set even without an
+// annotation: deleting the annotation cannot change the contract.
+func (e *Engine) rerouteGateway(p *packet) {
+	if e.gwDown[p.dst] {
+		return
+	}
+}
+
+// gatewayProcess proves closures are their own scope: the fault-state
+// read runs later, under whatever gate the closure's caller holds.
+func (e *Engine) gatewayProcess(p *packet) {
+	cb := func() bool { return e.gwDown[p.dst] }
+	_ = cb
+}
+
+// setFault is a mutator, not a forwarding function: unchecked.
+func (e *Engine) setFault(sw int) {
+	e.swDown[sw] = true
+	e.activeFaults++
+}

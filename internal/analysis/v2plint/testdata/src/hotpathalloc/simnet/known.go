@@ -1,0 +1,24 @@
+// Package simnet proves hotpathalloc's known entry points are checked
+// even without a //v2plint:hotpath annotation (deleting an annotation
+// cannot un-enforce the contract), while other functions in the same
+// package stay exempt.
+package simnet
+
+type packet struct{ size int }
+
+type link struct {
+	queue []*packet
+}
+
+// enqueue is in the known hot-path set despite carrying no annotation.
+func (l *link) enqueue(p *packet) {
+	cb := func() int { return p.size } // want `closure in hot-path function link\.enqueue allocates per call`
+	_ = cb
+	l.queue = append(l.queue, p) // field append: pooled, allowed
+}
+
+// cold is not in the known set and not annotated: exempt.
+func (l *link) cold(p *packet) {
+	cb := func() int { return p.size }
+	_ = cb
+}

@@ -1,0 +1,24 @@
+// Package hotpathneg is the negative case for the hotpath annotation's
+// scoping: it contains every construct hotpathalloc flags, but no
+// function here is annotated (one marker is deliberately detached from
+// its declaration by a blank line, so it annotates nothing). The
+// analyzer must report zero diagnostics for this package.
+package hotpathneg
+
+func plain(n int, sink func(any)) {
+	_ = func() int { return n }
+	_ = map[int]bool{}
+	_ = []int{n}
+	_ = make([]byte, n)
+	sink(n)
+}
+
+// The marker must be part of the doc comment block directly above the
+// declaration; a detached comment followed by a blank line annotates
+// nothing.
+
+//v2plint:hotpath
+
+func detached(n int) []byte {
+	return make([]byte, n)
+}

@@ -1,0 +1,29 @@
+// Package annotated proves //v2plint:nilsafe extends the nil-safety
+// contract to types outside the telemetry package, and only to them.
+package annotated
+
+// Tracker counts events; a nil *Tracker must be a no-op.
+//
+//v2plint:nilsafe
+type Tracker struct{ n int }
+
+// Bump is missing its guard.
+func (t *Tracker) Bump() { // want `exported method Tracker\.Bump must start with a nil-receiver guard`
+	t.n++
+}
+
+// Count is guarded. Silent.
+func (t *Tracker) Count() int {
+	if t == nil {
+		return 0
+	}
+	return t.n
+}
+
+// Plain is not annotated, so its methods are outside the contract.
+type Plain struct{ n int }
+
+// Grow needs no guard. Silent.
+func (p *Plain) Grow() {
+	p.n++
+}

@@ -1,0 +1,64 @@
+// Package telemetry stubs metric handles for the nilsafemetrics
+// contract: every exported pointer-receiver method must begin with a
+// nil-receiver guard so a nil handle is a valid no-op.
+package telemetry
+
+type Counter struct {
+	n    int64
+	name string
+}
+
+// Inc carries the canonical guard. Silent.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.n++
+}
+
+// Value guards with the inverted polarity. Silent.
+func (c *Counter) Value() int64 {
+	if c != nil {
+		return c.n
+	}
+	return 0
+}
+
+// AddPositive guards inside a compound condition. Silent.
+func (c *Counter) AddPositive(n int64) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.n += n
+}
+
+// Add is missing its guard; the fix inserts a bare return.
+func (c *Counter) Add(n int64) { // want `exported method Counter\.Add must start with a nil-receiver guard`
+	c.n += n
+}
+
+// Name is missing its guard; the fix must return the string zero value.
+func (c *Counter) Name() string { // want `exported method Counter\.Name must start with a nil-receiver guard`
+	return c.name
+}
+
+// reset is unexported: exempt.
+func (c *Counter) reset() {
+	c.n = 0
+}
+
+// Snapshot has a value receiver: exempt (a nil pointer can never be
+// its receiver).
+func (c Counter) Snapshot() int64 {
+	return c.n
+}
+
+// Reset has an unnamed receiver, so there is nothing to guard: exempt.
+func (*Counter) Reset() {
+	noop()
+}
+
+// Zero has an empty body: exempt.
+func (c *Counter) Zero() {}
+
+func noop() {}

@@ -1,0 +1,34 @@
+// Package schemecomplete seeds Scheme implementors with and without
+// the CacheFlusher method the fault model requires.
+package schemecomplete
+
+import "simnet"
+
+// Good implements both Scheme and CacheFlusher. Silent.
+type Good struct{}
+
+func (*Good) Name() string     { return "good" }
+func (*Good) FlushCache(int32) {}
+
+// Bad implements Scheme but not CacheFlusher.
+type Bad struct{} // want `Bad implements simnet\.Scheme but not simnet\.CacheFlusher`
+
+func (*Bad) Name() string { return "bad" }
+
+// Unrelated implements neither interface. Silent.
+type Unrelated struct{ n int }
+
+// Embeds satisfies both interfaces through promotion from Good. Silent.
+type Embeds struct{ Good }
+
+// SchemeIface is an interface, not a concrete implementor. Silent.
+type SchemeIface interface {
+	simnet.Scheme
+}
+
+var (
+	_ simnet.Scheme       = (*Good)(nil)
+	_ simnet.CacheFlusher = (*Good)(nil)
+	_ simnet.Scheme       = (*Bad)(nil)
+	_ simnet.Scheme       = (*Embeds)(nil)
+)

@@ -1,0 +1,13 @@
+package simnet
+
+// Scheme stands in for the translation-scheme interface that
+// schemecomplete audits implementors of.
+type Scheme interface {
+	Name() string
+}
+
+// CacheFlusher is the fault-recovery flush hook every Scheme
+// implementor must also provide.
+type CacheFlusher interface {
+	FlushCache(sw int32)
+}

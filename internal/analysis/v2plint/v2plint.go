@@ -5,8 +5,12 @@
 // iteration order is randomized, global math/rand is shared process
 // state, and wall-clock reads leak into simulated time — so the
 // contract is machine-checked here rather than left to convention.
+// Later PRs added repo-wide performance and fault-model contracts (an
+// allocation-free forwarding hot path, activeFaults-gated fault state,
+// a CacheFlusher obligation on every scheme, nil-safe telemetry
+// handles); those are machine-checked here too.
 //
-// The suite ships four analyzers:
+// The suite ships nine analyzers:
 //
 //   - detrange: flags `range` over a map whose body feeds an
 //     ordering-sensitive sink (append, float accumulation, event
@@ -20,17 +24,37 @@
 //   - simtimeunits: flags arithmetic or conversions mixing
 //     time.Duration with simtime types without going through the
 //     explicit simtime.FromStd / .Std() converters.
+//   - hotpathalloc: forbids heap-allocating constructs (closures,
+//     map/slice literals, make/new, interface boxing, fmt, string
+//     concatenation, appends to function-local slices) inside
+//     functions marked //v2plint:hotpath and the known serializer/
+//     ECMP/eventq entry points.
+//   - faultgate: requires forwarding-path reads of engine fault state
+//     (swDown, gwDown, faultDown, swFaults, lossRand) to be dominated
+//     by an activeFaults (or loss-window) check; //v2plint:faultpath
+//     marks the reroute slow-path helpers whose callers must gate.
+//   - schemecomplete: requires every concrete type implementing
+//     simnet.Scheme to also implement simnet.CacheFlusher, so fault
+//     injection can flush any scheme's per-switch state.
+//   - nilsafemetrics: requires every exported pointer-receiver method
+//     on telemetry types (and //v2plint:nilsafe-annotated types) to
+//     begin with a nil-receiver guard.
+//   - allowreason: requires every //v2plint:allow waiver to carry a
+//     justification after the analyzer list.
 //
-// A finding can be waived with a `//v2plint:allow <analyzer>` comment
-// on the offending line or the line directly above it, e.g. the
-// profiling hook in internal/simnet/engine.go that deliberately
-// measures host wall time.
+// A finding can be waived with a `//v2plint:allow <analyzer> <reason>`
+// comment on the offending line or the line directly above it, e.g.
+// the profiling hook in internal/simnet/engine.go that deliberately
+// measures host wall time. The reason is mandatory: a bare waiver is
+// itself a finding (allowreason), and allowreason findings cannot be
+// waived.
 //
 // The framework mirrors the golang.org/x/tools/go/analysis API shape
-// (Analyzer, Pass, Diagnostic) but is self-contained on the standard
-// library, so the module needs no external dependencies. cmd/v2plint
-// is the multichecker driver; it also speaks the `go vet -vettool=`
-// unit-checker protocol.
+// (Analyzer, Pass, Diagnostic, SuggestedFix) but is self-contained on
+// the standard library, so the module needs no external dependencies.
+// cmd/v2plint is the multichecker driver (with -json machine-readable
+// output and -fix to apply suggested fixes); it also speaks the
+// `go vet -vettool=` unit-checker protocol.
 package v2plint
 
 import (
@@ -76,16 +100,50 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// A Diagnostic is one lint finding.
+// ReportfFix records a finding at pos carrying one suggested fix.
+func (p *Pass) ReportfFix(pos token.Pos, fix SuggestedFix, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+		Fixes:    []SuggestedFix{fix},
+	})
+}
+
+// A Diagnostic is one lint finding, optionally carrying machine-
+// applicable fixes.
 type Diagnostic struct {
 	Pos      token.Pos
 	Analyzer string
 	Message  string
+	// Fixes holds suggested fixes, applied by `v2plint -fix` and
+	// asserted against .golden files by the analysistest harness.
+	Fixes []SuggestedFix
+}
+
+// A SuggestedFix is one machine-applicable repair for a finding: a
+// message plus a set of non-overlapping text edits.
+type SuggestedFix struct {
+	// Message describes the repair in one clause ("insert nil guard").
+	Message string
+	Edits   []TextEdit
+}
+
+// A TextEdit replaces the source range [Pos, End) with NewText.
+// End == token.NoPos (or End == Pos) denotes a pure insertion at Pos.
+type TextEdit struct {
+	Pos     token.Pos
+	End     token.Pos
+	NewText []byte
 }
 
 // Analyzers returns the full v2plint suite in stable order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{DetRange, WallClock, GlobalRand, SimTimeUnits}
+	return []*Analyzer{
+		DetRange, WallClock, GlobalRand, SimTimeUnits,
+		HotPathAlloc, FaultGate, SchemeComplete, NilSafeMetrics,
+		AllowReason,
+	}
 }
 
 // ByName returns the named analyzer, or nil.
@@ -100,7 +158,8 @@ func ByName(name string) *Analyzer {
 
 // RunPackage runs the given analyzers over one type-checked package and
 // returns the findings that are not waived by //v2plint:allow
-// annotations, sorted by position.
+// annotations, sorted by position. Findings from the allowreason
+// analyzer are exempt from waiving: a waiver cannot excuse itself.
 func RunPackage(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) []Diagnostic {
 	allows := collectAllows(fset, files)
 	var diags []Diagnostic
@@ -117,7 +176,7 @@ func RunPackage(fset *token.FileSet, files []*ast.File, pkg *types.Package, info
 	}
 	kept := diags[:0]
 	for _, d := range diags {
-		if !allows.waives(fset.Position(d.Pos), d.Analyzer) {
+		if d.Analyzer == AllowReason.Name || !allows.waives(fset.Position(d.Pos), d.Analyzer) {
 			kept = append(kept, d)
 		}
 	}
@@ -142,21 +201,16 @@ func RunPackage(fset *token.FileSet, files []*ast.File, pkg *types.Package, info
 type allowSet map[string]map[int]map[string]bool
 
 // collectAllows scans the files' comments for `//v2plint:allow
-// name[,name...]` annotations (anything after the names is a free-form
-// reason and is ignored).
+// name[,name...] reason` annotations. The reason is free-form text and
+// is not interpreted here; the allowreason analyzer separately rejects
+// waivers that omit it.
 func collectAllows(fset *token.FileSet, files []*ast.File) allowSet {
 	out := allowSet{}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				text := strings.TrimPrefix(c.Text, "//")
-				text = strings.TrimSpace(text)
-				if !strings.HasPrefix(text, "v2plint:allow") {
-					continue
-				}
-				rest := strings.TrimSpace(strings.TrimPrefix(text, "v2plint:allow"))
-				fields := strings.Fields(rest)
-				if len(fields) == 0 {
+				fields, ok := allowFields(c)
+				if !ok || len(fields) == 0 {
 					continue
 				}
 				pos := fset.Position(c.Pos())
@@ -179,6 +233,19 @@ func collectAllows(fset *token.FileSet, files []*ast.File) allowSet {
 	return out
 }
 
+// allowFields parses a comment as a //v2plint:allow annotation and
+// returns its whitespace-separated fields (analyzer list first, then
+// the reason words), or ok=false when the comment is not an allow
+// annotation at all.
+func allowFields(c *ast.Comment) ([]string, bool) {
+	text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+	if !strings.HasPrefix(text, "v2plint:allow") {
+		return nil, false
+	}
+	rest := strings.TrimSpace(strings.TrimPrefix(text, "v2plint:allow"))
+	return strings.Fields(rest), true
+}
+
 // waives reports whether an annotation on the diagnostic's line, or the
 // line directly above it, waives the analyzer.
 func (s allowSet) waives(pos token.Position, analyzer string) bool {
@@ -192,6 +259,55 @@ func (s allowSet) waives(pos token.Position, analyzer string) bool {
 		}
 	}
 	return false
+}
+
+// --- contract annotations ---
+
+// docAnnotated reports whether the comment group contains a
+// `//v2plint:<name>` marker line (optionally followed by free text).
+func docAnnotated(doc *ast.CommentGroup, name string) bool {
+	if doc == nil {
+		return false
+	}
+	marker := "v2plint:" + name
+	for _, c := range doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if text == marker || strings.HasPrefix(text, marker+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// funcAnnotated reports whether the function's doc comment carries a
+// `//v2plint:<name>` marker (the annotation grammar for hotpath and
+// faultpath: the marker must be part of the doc comment block directly
+// above the declaration).
+func funcAnnotated(fn *ast.FuncDecl, name string) bool {
+	return docAnnotated(fn.Doc, name)
+}
+
+// funcKey identifies a function as "Name" (plain function) or
+// "Recv.Name" (method, receiver base type with pointers and type
+// parameters stripped) for the known hot-path tables.
+func funcKey(fn *ast.FuncDecl) string {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return fn.Name.Name
+	}
+	t := fn.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	switch ix := t.(type) {
+	case *ast.IndexExpr:
+		t = ix.X
+	case *ast.IndexListExpr:
+		t = ix.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name + "." + fn.Name.Name
+	}
+	return fn.Name.Name
 }
 
 // --- shared helpers ---

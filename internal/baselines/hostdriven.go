@@ -81,6 +81,11 @@ func (*OnDemand) HostMisdeliver(e *simnet.Engine, host int32, p *packet.Packet) 
 	followMe(e, host, p)
 }
 
+// FlushCache implements simnet.CacheFlusher. OnDemand's caches live in
+// the hosts, keyed per host — a switch failure destroys no OnDemand
+// state, so there is nothing to flush.
+func (*OnDemand) FlushCache(int32) {}
+
 // Direct is the pure host-driven baseline: hosts are preprogrammed with
 // every mapping (§5's "preprogrammed model"), estimating the best
 // possible network performance while ignoring update overheads.
@@ -117,3 +122,8 @@ func (*Direct) SwitchArrive(e *simnet.Engine, sw int32, from topology.NodeRef, p
 func (*Direct) HostMisdeliver(e *simnet.Engine, host int32, p *packet.Packet) {
 	followMe(e, host, p)
 }
+
+// FlushCache implements simnet.CacheFlusher. Direct holds no
+// switch-resident translation state (hosts are preprogrammed), so a
+// switch failure flushes nothing.
+func (*Direct) FlushCache(int32) {}

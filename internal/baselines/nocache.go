@@ -34,3 +34,8 @@ func (*NoCache) SwitchArrive(e *simnet.Engine, sw int32, from topology.NodeRef, 
 func (*NoCache) HostMisdeliver(e *simnet.Engine, host int32, p *packet.Packet) {
 	followMe(e, host, p)
 }
+
+// FlushCache implements simnet.CacheFlusher. NoCache keeps no
+// switch-resident translation state, so a switch failure flushes
+// nothing.
+func (*NoCache) FlushCache(int32) {}

@@ -49,6 +49,8 @@ func (q *Queue) Len() int { return len(q.heap) }
 // At schedules fn to run at instant t. Scheduling in the past (before the
 // current instant) panics: it would violate causality and always indicates
 // a bug in the caller.
+//
+//v2plint:hotpath
 func (q *Queue) At(t simtime.Time, fn Event) {
 	if t < q.now {
 		panic("eventq: scheduling event in the past")
@@ -59,6 +61,8 @@ func (q *Queue) At(t simtime.Time, fn Event) {
 }
 
 // After schedules fn to run d after the current instant.
+//
+//v2plint:hotpath
 func (q *Queue) After(d simtime.Duration, fn Event) {
 	q.At(q.now.Add(d), fn)
 }
@@ -66,6 +70,8 @@ func (q *Queue) After(d simtime.Duration, fn Event) {
 // AtTimed schedules the pre-bound event record ev to fire at instant t.
 // It is the allocation-free counterpart of At: the record is stored in
 // the heap by reference, and ownership passes to the queue until Fire.
+//
+//v2plint:hotpath
 func (q *Queue) AtTimed(t simtime.Time, ev Timed) {
 	if t < q.now {
 		panic("eventq: scheduling event in the past")
@@ -76,12 +82,16 @@ func (q *Queue) AtTimed(t simtime.Time, ev Timed) {
 }
 
 // AfterTimed schedules ev to fire d after the current instant.
+//
+//v2plint:hotpath
 func (q *Queue) AfterTimed(d simtime.Duration, ev Timed) {
 	q.AtTimed(q.now.Add(d), ev)
 }
 
 // Step dispatches the earliest pending event, advancing the clock to its
 // timestamp. It reports whether an event was dispatched.
+//
+//v2plint:hotpath
 func (q *Queue) Step() bool {
 	if len(q.heap) == 0 {
 		return false
@@ -106,6 +116,8 @@ func (q *Queue) Step() bool {
 // Run dispatches events until the queue is empty or until the next event
 // would be later than horizon. It returns the number of events dispatched.
 // Use horizon = simtime.Never to drain the queue.
+//
+//v2plint:hotpath
 func (q *Queue) Run(horizon simtime.Time) int {
 	n := 0
 	for len(q.heap) > 0 && q.heap[0].at <= horizon {
@@ -117,6 +129,8 @@ func (q *Queue) Run(horizon simtime.Time) int {
 
 // PeekTime returns the timestamp of the earliest pending event and whether
 // one exists.
+//
+//v2plint:hotpath
 func (q *Queue) PeekTime() (simtime.Time, bool) {
 	if len(q.heap) == 0 {
 		return 0, false
@@ -137,6 +151,9 @@ func (q *Queue) less(i, j int) bool {
 // the swap count of sift-down compared to a binary heap.
 const heapArity = 4
 
+// up sifts the item at i toward the root (heap insert).
+//
+//v2plint:hotpath
 func (q *Queue) up(i int) {
 	for i > 0 {
 		parent := (i - 1) / heapArity
@@ -148,6 +165,9 @@ func (q *Queue) up(i int) {
 	}
 }
 
+// down sifts the item at i toward the leaves (heap pop).
+//
+//v2plint:hotpath
 func (q *Queue) down(i int) {
 	n := len(q.heap)
 	for {

@@ -300,6 +300,8 @@ func (e *Engine) Gateways() []int32 { return e.gateways }
 // with a descriptive message on a topology built without gateway hosts
 // (rather than a bare divide-by-zero): schemes that resolve through
 // gateways cannot run on such a topology.
+//
+//v2plint:hotpath
 func (e *Engine) GatewayFor(src netaddr.PIP, flowID uint64) netaddr.PIP {
 	if len(e.gateways) == 0 {
 		panic("simnet: GatewayFor on a topology with no gateway hosts " +
@@ -319,6 +321,8 @@ func (e *Engine) GatewayFor(src netaddr.PIP, flowID uint64) netaddr.PIP {
 // dark the original pick is kept: the packet travels to the dead
 // gateway and is dropped there (FaultDrops), exactly as in a real
 // fabric — senders have no oracle for total gateway loss.
+//
+//v2plint:faultpath
 func (e *Engine) rerouteGateway(down int32, h uint32) int32 {
 	up := 0
 	for _, g := range e.gateways {
@@ -352,6 +356,8 @@ func (e *Engine) IsGatewayPIP(p netaddr.PIP) bool {
 // HostSend emits a tenant packet from a host into the network. It stamps
 // the packet, asks the scheme to resolve the outer destination, and
 // enqueues the packet on the host's NIC.
+//
+//v2plint:hotpath
 func (e *Engine) HostSend(host int32, p *packet.Packet) {
 	e.nextUID++
 	p.UID = e.nextUID
@@ -371,11 +377,15 @@ func (e *Engine) HostSend(host int32, p *packet.Packet) {
 // Resend re-emits a packet from a host without re-stamping SentAt; used
 // by hypervisor misdelivery forwarding. The scheme is not consulted: the
 // caller has already set the outer header.
+//
+//v2plint:hotpath
 func (e *Engine) Resend(host int32, p *packet.Packet) {
 	e.hostUp[host].enqueue(p)
 }
 
 // InjectFromSwitch emits a scheme-generated control packet from a switch.
+//
+//v2plint:hotpath
 func (e *Engine) InjectFromSwitch(sw int32, p *packet.Packet) {
 	e.nextUID++
 	p.UID = e.nextUID
@@ -391,9 +401,13 @@ func (e *Engine) InjectFromSwitch(sw int32, p *packet.Packet) {
 // switchArrive processes a packet arriving at a switch: count it, hand it
 // to the scheme, then route it onward unless consumed. A failed switch
 // processes nothing: packets already in flight toward it when it failed
-// die on arrival, before any counter, tap or scheme hook runs.
+// die on arrival, before any counter, tap or scheme hook runs. The
+// swDown read is gated: activeFaults counts every failed switch, so the
+// gate never changes behavior, only spares healthy runs the slice read.
+//
+//v2plint:hotpath
 func (e *Engine) switchArrive(sw int32, from topology.NodeRef, p *packet.Packet) {
-	if e.swDown[sw] {
+	if e.activeFaults > 0 && e.swDown[sw] {
 		e.C.Drops++
 		e.C.FaultDrops++
 		return
@@ -415,6 +429,8 @@ func (e *Engine) switchArrive(sw int32, from topology.NodeRef, p *packet.Packet)
 // destination: directly to an attached host, or via ECMP toward the
 // destination's ToR (or toward the destination switch itself for
 // switch-addressed control packets).
+//
+//v2plint:hotpath
 func (e *Engine) forwardFromSwitch(sw int32, p *packet.Packet) {
 	if hostIdx, ok := e.Topo.HostByPIP(p.DstPIP); ok {
 		h := &e.Topo.Hosts[hostIdx]
@@ -443,6 +459,8 @@ func (e *Engine) forwardFromSwitch(sw int32, p *packet.Packet) {
 // failed next switch) is excluded and the flow is re-balanced across the
 // surviving hops (Rerouted); a healthy preferred hop keeps its healthy-run
 // choice, so failures perturb only the flows that actually crossed them.
+//
+//v2plint:hotpath
 func (e *Engine) ecmpForward(sw, dstSw int32, p *packet.Packet) {
 	hops := e.Topo.NextHops(sw, dstSw)
 	if len(hops) == 0 {
@@ -471,6 +489,9 @@ func (e *Engine) ecmpForward(sw, dstSw int32, p *packet.Packet) {
 // rerouteHop picks the h-th usable next hop, or nil when every
 // equal-cost hop toward the destination is downed. Allocation-free: two
 // passes over the (small) next-hop slice.
+//
+//v2plint:hotpath
+//v2plint:faultpath
 func (e *Engine) rerouteHop(sw int32, hops []int32, h uint32) *link {
 	usable := 0
 	for _, c := range hops {
@@ -535,7 +556,7 @@ func (e *Engine) hostArrive(host int32, p *packet.Packet) {
 // processing latency, an authoritative lookup, and re-emission of the
 // resolved packet through the gateway's NIC.
 func (e *Engine) gatewayProcess(host int32, p *packet.Packet) {
-	if e.gwDown[host] {
+	if e.activeFaults > 0 && e.gwDown[host] {
 		// An outaged gateway is dark: packets already in flight toward it
 		// when the outage hit (or sent while every gateway is down) die
 		// here, unprocessed and uncounted.

@@ -274,6 +274,33 @@ func BenchmarkLinkSerializer(b *testing.B) {
 	}
 }
 
+// TestLinkSerializerBenchmarkAllocFree runs the typed-path serializer
+// loop under testing.Benchmark and asserts the allocation rate the
+// benchmark would merely print: BenchmarkLinkSerializer/typed must stay
+// at 0 allocs/op, as a failing test rather than a number in a report.
+func TestLinkSerializerBenchmarkAllocFree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a benchmark")
+	}
+	r := testing.Benchmark(func(b *testing.B) {
+		e, l := bareLink()
+		p := packet.NewData(1, 0, 1000, 1, 2, 3)
+		for i := 0; i < 8; i++ { // warm the pools
+			l.enqueue(p)
+			e.Q.Run(simtime.Never)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			l.enqueue(p)
+			e.Q.Run(simtime.Never)
+		}
+	})
+	if allocs := r.AllocsPerOp(); allocs != 0 {
+		t.Fatalf("typed serializer path allocates %d/op in steady state, want 0", allocs)
+	}
+}
+
 // BenchmarkEcmpForward measures a resolved packet's full fabric
 // traversal — adjacency lookup, ECMP hash, per-hop serialization —
 // from source ToR to destination host.

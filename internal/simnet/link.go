@@ -65,6 +65,8 @@ const (
 )
 
 // Fire dispatches the record's current stage.
+//
+//v2plint:hotpath
 func (ev *linkEvent) Fire() {
 	switch ev.stage {
 	case stageTxDone:
@@ -82,21 +84,28 @@ func (ev *linkEvent) Fire() {
 }
 
 // getEvent pops a pooled record, allocating only to grow the pool.
+//
+//v2plint:hotpath
 func (l *link) getEvent() *linkEvent {
 	if n := len(l.free); n > 0 {
 		ev := l.free[n-1]
 		l.free = l.free[:n-1]
 		return ev
 	}
+	//v2plint:allow hotpathalloc pool growth: one record per in-flight high-water mark, then reused forever
 	return &linkEvent{l: l}
 }
 
 // enqueue appends p to the egress queue, dropping it if the link is
 // down (fault injection), lossy (probabilistic loss window), or if the
 // owning switch's shared buffer is exhausted, and kicks the serializer
-// if idle.
+// if idle. The fault-flag read is gated: activeFaults counts every
+// downed link and failed switch, so the gate never changes which
+// packets drop, only spares healthy runs the flag reads.
+//
+//v2plint:hotpath
 func (l *link) enqueue(p *packet.Packet) {
-	if l.faultDown || l.swFaults != 0 {
+	if l.e.activeFaults > 0 && (l.faultDown || l.swFaults != 0) {
 		l.e.C.Drops++
 		l.e.C.FaultDrops++
 		return
@@ -126,6 +135,8 @@ func (l *link) enqueue(p *packet.Packet) {
 
 // txDone releases the packet's shared-buffer claim when its last bit
 // leaves the serializer (shared by the typed and closure paths).
+//
+//v2plint:hotpath
 func (l *link) txDone(size int) {
 	if l.fromSwitch >= 0 {
 		l.e.bufUsed[l.fromSwitch] -= size
@@ -135,6 +146,8 @@ func (l *link) txDone(size int) {
 
 // serializeNext continues with the next queued packet, or idles the
 // serializer (shared by the typed and closure paths).
+//
+//v2plint:hotpath
 func (l *link) serializeNext() {
 	if l.head < len(l.queue) {
 		l.startNext()
@@ -147,6 +160,8 @@ func (l *link) serializeNext() {
 // default path schedules a pooled linkEvent record; Engine.ClosureEvents
 // selects the legacy closure-per-event path, kept for the determinism
 // guard that proves both dispatch byte-identical results.
+//
+//v2plint:hotpath
 func (l *link) startNext() {
 	p := l.queue[l.head]
 	l.queue[l.head] = nil
@@ -165,6 +180,7 @@ func (l *link) startNext() {
 		l.e.Q.AfterTimed(tx, ev)
 		return
 	}
+	//v2plint:allow hotpathalloc legacy closure reference path, opted into via Engine.ClosureEvents
 	l.e.Q.After(tx, func() {
 		l.txDone(size)
 		// Store-and-forward: the far end receives the packet one

@@ -44,12 +44,15 @@ type Scheme interface {
 	HostMisdeliver(e *Engine, host int32, p *packet.Packet)
 }
 
-// CacheFlusher is the optional fault-recovery hook: schemes whose
-// switches hold per-switch translation state implement it so the fault
-// injector (internal/faults) can model the state loss of a switch
-// failure — a recovered switch restarts with a cold cache and must
-// re-learn from passing traffic. Schemes without per-switch state
-// (NoCache, OnDemand, Direct) simply do not implement it.
+// CacheFlusher is the fault-recovery hook: the fault injector
+// (internal/faults) models the state loss of a switch failure through
+// it — a recovered switch restarts with a cold cache and must re-learn
+// from passing traffic. Every Scheme must implement it (the
+// schemecomplete analyzer enforces this): schemes whose switches hold
+// per-switch translation state clear it here, and schemes without such
+// state (NoCache, OnDemand, Direct) implement an explicit no-op, so
+// "nothing to flush" is a reviewed statement rather than an accident
+// of a missing method.
 type CacheFlusher interface {
 	// FlushCache discards every mapping (and any per-switch protocol
 	// state) held by switch sw.

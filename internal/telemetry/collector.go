@@ -94,8 +94,14 @@ func New(opts Options) *Collector {
 	}
 }
 
-// ProfileOnly reports whether the time-series sampler is disabled.
-func (c *Collector) ProfileOnly() bool { return c.profileOnly }
+// ProfileOnly reports whether the time-series sampler is disabled
+// (false for a nil collector: no collector, no sampler to disable).
+func (c *Collector) ProfileOnly() bool {
+	if c == nil {
+		return false
+	}
+	return c.profileOnly
+}
 
 // RecordFault appends one event to the fault timeline. The injector
 // calls it at the simulation time the fault is applied, so records are
@@ -109,8 +115,11 @@ func (c *Collector) RecordFault(timeUs float64, kind, detail string) {
 
 // AddProbe registers a sampled series: fn is evaluated once per
 // sampling tick and must not mutate simulation state. Probes must be
-// registered before Attach.
+// registered before Attach. A nil collector records nothing.
 func (c *Collector) AddProbe(name string, fn func() float64) {
+	if c == nil {
+		return
+	}
 	s := &Series{Name: name}
 	c.Timeline.Series = append(c.Timeline.Series, s)
 	c.probes = append(c.probes, probe{series: s, fn: fn})
@@ -120,7 +129,11 @@ func (c *Collector) AddProbe(name string, fn func() float64) {
 // sampler re-arms itself only while other events remain pending, so it
 // never keeps a drained simulation alive, and its ticks are pure
 // observations — an attached collector does not change any result.
+// A nil collector attaches nothing.
 func (c *Collector) Attach(q *eventq.Queue) {
+	if c == nil {
+		return
+	}
 	if c.profileOnly {
 		return
 	}

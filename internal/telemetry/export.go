@@ -35,8 +35,12 @@ type jsonExport struct {
 }
 
 // WriteJSON exports the full collector state — timeline, registry and
-// engine profile — as one JSON document.
+// engine profile — as one JSON document. A nil collector writes
+// nothing and reports success.
 func (c *Collector) WriteJSON(w io.Writer) error {
+	if c == nil {
+		return nil
+	}
 	doc := jsonExport{
 		IntervalUs: c.Interval.Micros(),
 		TimesUs:    make([]float64, 0, len(c.Timeline.Times)),
@@ -63,13 +67,21 @@ func (c *Collector) WriteJSON(w io.Writer) error {
 }
 
 // WriteCSV exports the timeline in wide format: one column per series,
-// one row per sampling tick, all floats at fixed precision.
+// one row per sampling tick, all floats at fixed precision. A nil
+// collector writes nothing and reports success.
 func (c *Collector) WriteCSV(w io.Writer) error {
+	if c == nil {
+		return nil
+	}
 	return c.Timeline.WriteCSV(w)
 }
 
 // WriteCSV exports the timeline in wide format (time_us, series...).
+// A nil timeline writes nothing and reports success.
 func (t *Timeline) WriteCSV(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
 	cw := csv.NewWriter(w)
 	header := []string{"time_us"}
 	for _, s := range t.Series {
@@ -97,8 +109,12 @@ func (t *Timeline) WriteCSV(w io.Writer) error {
 }
 
 // WriteFaultsCSV exports the fault timeline as CSV (time_us at fixed
-// precision, kind, detail) — one row per applied fault event.
+// precision, kind, detail) — one row per applied fault event. A nil
+// collector writes nothing and reports success.
 func (c *Collector) WriteFaultsCSV(w io.Writer) error {
+	if c == nil {
+		return nil
+	}
 	cw := csv.NewWriter(w)
 	if err := cw.Write([]string{"time_us", "kind", "detail"}); err != nil {
 		return err
@@ -114,8 +130,11 @@ func (c *Collector) WriteFaultsCSV(w io.Writer) error {
 
 // Summary renders a human-readable digest: the engine profile, the
 // registry contents, the final reading of every sampled series, and the
-// fault timeline.
+// fault timeline. A nil collector renders the empty string.
 func (c *Collector) Summary() string {
+	if c == nil {
+		return ""
+	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "engine    %s\n", c.Profile.String())
 	fmt.Fprintf(&b, "samples   %d ticks every %v (%d series)\n",

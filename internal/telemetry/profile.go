@@ -55,8 +55,11 @@ func (p *EngineProfile) WallPerSimSecond() float64 {
 	return p.Wall.Seconds() / simSecs
 }
 
-// String summarizes the profile in one line.
+// String summarizes the profile in one line ("" for a nil profile).
 func (p *EngineProfile) String() string {
+	if p == nil {
+		return ""
+	}
 	return fmt.Sprintf("events=%d heapHW=%d wall=%v events/sec=%.0f wall-per-sim-sec=%.1f allocs/event=%.3f",
 		p.Events, p.HeapHighWater, p.Wall.Round(time.Microsecond),
 		p.EventsPerSec(), p.WallPerSimSecond(), p.AllocsPerEvent())

@@ -20,6 +20,8 @@ import "sort"
 type Counter struct{ v int64 }
 
 // Inc adds one.
+//
+//v2plint:hotpath
 func (c *Counter) Inc() {
 	if c != nil {
 		c.v++
@@ -27,6 +29,8 @@ func (c *Counter) Inc() {
 }
 
 // Add adds n.
+//
+//v2plint:hotpath
 func (c *Counter) Add(n int64) {
 	if c != nil {
 		c.v += n
@@ -34,6 +38,8 @@ func (c *Counter) Add(n int64) {
 }
 
 // Value returns the current count (0 for a nil handle).
+//
+//v2plint:hotpath
 func (c *Counter) Value() int64 {
 	if c == nil {
 		return 0
@@ -46,6 +52,8 @@ func (c *Counter) Value() int64 {
 type Gauge struct{ v, hw int64 }
 
 // Set records v as the current value, updating the high-water mark.
+//
+//v2plint:hotpath
 func (g *Gauge) Set(v int64) {
 	if g == nil {
 		return
@@ -57,6 +65,8 @@ func (g *Gauge) Set(v int64) {
 }
 
 // Value returns the last value set (0 for a nil handle).
+//
+//v2plint:hotpath
 func (g *Gauge) Value() int64 {
 	if g == nil {
 		return 0
@@ -65,6 +75,8 @@ func (g *Gauge) Value() int64 {
 }
 
 // HighWater returns the largest value ever set (0 for a nil handle).
+//
+//v2plint:hotpath
 func (g *Gauge) HighWater() int64 {
 	if g == nil {
 		return 0

@@ -12,8 +12,10 @@ go build ./...
 echo "== vet =="
 go vet ./...
 
-echo "== v2plint (determinism lint) =="
-go run ./cmd/v2plint ./...
+echo "== v2plint (determinism + contract lint, all nine analyzers) =="
+# -json keeps the findings machine-readable for CI annotation tooling;
+# a clean run prints [] and exits 0, any unwaived finding fails the build.
+go run ./cmd/v2plint -json ./...
 
 echo "== staticcheck =="
 if command -v staticcheck >/dev/null 2>&1; then
