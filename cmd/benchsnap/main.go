@@ -1,0 +1,134 @@
+// Command benchsnap captures the repo's machine-readable performance
+// trajectory: BENCH_engine.json (raw discrete-event throughput, the
+// same measurement BenchmarkEngineEventsPerSec reports) and
+// BENCH_scenario.json (wall-clock and per-phase SLO outcomes of a quick
+// production-day scenario). CI runs it on every build; committing the
+// files records how engine throughput and scenario cost move over time.
+//
+// Wall-clock figures vary with the host; the simulation-side fields
+// (events, flows, SLO verdicts) are deterministic.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"switchv2p/internal/harness"
+	"switchv2p/internal/scenario"
+	"switchv2p/internal/simtime"
+	"switchv2p/internal/telemetry"
+)
+
+type engineSnap struct {
+	Config        string  `json:"config"`
+	Events        int64   `json:"events"`
+	EventsPerSec  float64 `json:"events_per_sec"`
+	AllocsPerEvt  float64 `json:"allocs_per_event"`
+	HeapHighWater int     `json:"heap_high_water"`
+	WallMs        float64 `json:"wall_ms"`
+	SimEndUs      float64 `json:"sim_end_us"`
+}
+
+type scenarioSnap struct {
+	Config  string           `json:"config"`
+	WallMs  float64          `json:"wall_ms"`
+	Report  *scenario.Report `json:"report"`
+	Horizon string           `json:"horizon"`
+}
+
+func engineSnapshot() (*engineSnap, error) {
+	cfg := harness.Config{
+		VMs: 1024, Scheme: harness.SchemeSwitchV2P, TraceName: "hadoop",
+		Load: 0.30, Duration: 200 * simtime.Microsecond, MaxFlows: 1000,
+		CacheFraction: 0.5, Seed: 1,
+		Telemetry: &telemetry.Options{ProfileOnly: true},
+	}
+	r, err := harness.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	p := &r.Telemetry.Profile
+	return &engineSnap{
+		Config:        "switchv2p/hadoop FT8 1024VM 1000flows (BenchmarkEngineEventsPerSec)",
+		Events:        p.Events,
+		EventsPerSec:  p.EventsPerSec(),
+		AllocsPerEvt:  p.AllocsPerEvent(),
+		HeapHighWater: p.HeapHighWater,
+		WallMs:        float64(p.Wall) / float64(time.Millisecond),
+		SimEndUs:      float64(p.SimEnd) / 1e3,
+	}, nil
+}
+
+func scenarioSnapshot() (*scenarioSnap, error) {
+	spec := scenario.ProductionDay(harness.Config{
+		VMs: 1024, Scheme: harness.SchemeSwitchV2P, TraceName: "hadoop",
+		Load: 0.30, CacheFraction: 0.5, Seed: 1,
+	}, scenario.DayOptions{
+		DayLength:  24 * simtime.Millisecond,
+		FlowBudget: 2400, Churn: 24, Migrations: 16,
+		UpgradeWaves: 2, DrainGateways: 2,
+	})
+	t0 := time.Now()
+	rep, err := scenario.Run(spec)
+	if err != nil {
+		return nil, err
+	}
+	wall := time.Since(t0)
+	rep.Final = nil // keep the snapshot phase-oriented (Final is json:"-" anyway)
+	return &scenarioSnap{
+		Config:  "production-day quick (switchv2p/hadoop FT8 1024VM 2400flows)",
+		WallMs:  float64(wall) / float64(time.Millisecond),
+		Report:  rep,
+		Horizon: fmt.Sprintf("%.1fms simulated", rep.HorizonUs/1e3),
+	}, nil
+}
+
+func writeJSON(dir, name string, v any) error {
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+func main() {
+	out := flag.String("out", ".", "directory for BENCH_*.json")
+	flag.Parse()
+
+	eng, err := engineSnapshot()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchsnap engine: %v\n", err)
+		os.Exit(1)
+	}
+	if err := writeJSON(*out, "BENCH_engine.json", eng); err != nil {
+		fmt.Fprintf(os.Stderr, "benchsnap: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("BENCH_engine.json: %d events, %.0f events/sec, %.3f allocs/event\n",
+		eng.Events, eng.EventsPerSec, eng.AllocsPerEvt)
+
+	scen, err := scenarioSnapshot()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchsnap scenario: %v\n", err)
+		os.Exit(1)
+	}
+	if err := writeJSON(*out, "BENCH_scenario.json", scen); err != nil {
+		fmt.Fprintf(os.Stderr, "benchsnap: %v\n", err)
+		os.Exit(1)
+	}
+	pass := 0
+	for i := range scen.Report.Phases {
+		if scen.Report.Phases[i].SLOPass {
+			pass++
+		}
+	}
+	fmt.Printf("BENCH_scenario.json: %d flows over %s in %.0fms wall, %d/%d phases met SLO\n",
+		scen.Report.Flows, scen.Horizon, scen.WallMs, pass, len(scen.Report.Phases))
+}

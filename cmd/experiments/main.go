@@ -9,9 +9,11 @@
 //	experiments -exp fig5a            # one experiment
 //	experiments -exp all              # everything
 //	experiments -exp fig5a -scale quick|standard|full
+//	experiments -scenario production-day   # long-horizon scenario (internal/scenario)
 //
 // Experiments: table3 fig5a fig5b fig5c fig5d fig6 fig7 fig8 fig9 fig10
-// table4 table5 table6 controller.
+// table4 table5 table6 controller. Scenarios (multi-phase operational
+// runs with per-phase SLO tables, not part of "all"): production-day.
 package main
 
 import (
@@ -24,6 +26,7 @@ import (
 
 func main() {
 	exp := flag.String("exp", "all", "experiment id (table3, fig5a..fig5d, fig6..fig10, table4..table6, controller, ablation, all)")
+	scen := flag.String("scenario", "", "run a long-horizon operational scenario instead of -exp (production-day)")
 	scaleName := flag.String("scale", "standard", "quick | standard | full")
 	seed := flag.Int64("seed", 1, "random seed")
 	parallel := flag.Bool("parallel", false, "run sweep points on all CPUs (identical output, less wall clock)")
@@ -38,6 +41,24 @@ func main() {
 	sc.Seed = *seed
 	if *parallel {
 		sc.Workers = runtime.NumCPU()
+	}
+
+	// Scenarios are long-horizon multi-phase runs (internal/scenario);
+	// they are separate from -exp and never part of "all".
+	if *scen != "" {
+		fn, ok := scenarios[*scen]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown scenario %q (production-day)\n", *scen)
+			os.Exit(2)
+		}
+		fmt.Printf("\n=== scenario %s (scale=%s) ===\n", *scen, *scaleName)
+		t0 := time.Now()
+		if err := fn(sc); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", *scen, err)
+			os.Exit(1)
+		}
+		fmt.Printf("--- %s done in %v\n", *scen, time.Since(t0).Round(time.Millisecond))
+		return
 	}
 
 	runners := []struct {

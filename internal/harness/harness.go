@@ -113,6 +113,11 @@ type Config struct {
 	Seed int64
 }
 
+// WithDefaults returns the config with every zero value filled in the
+// way Build would fill it. Exported for drivers (internal/scenario)
+// that must know the effective topology/trace/seed before building.
+func (c Config) WithDefaults() Config { return c.withDefaults() }
+
 // withDefaults fills zero values.
 func (c Config) withDefaults() Config {
 	if c.Topo.Pods == 0 {
@@ -363,6 +368,11 @@ func Run(cfg Config) (*Report, error) {
 		if err := w.Injector.Err(); err != nil {
 			return nil, err
 		}
+	}
+	// Streaming telemetry buffers bytes in its writers until flushed; a
+	// buffered (or absent) collector makes this a no-op.
+	if err := w.Telem.FlushStreams(); err != nil {
+		return nil, err
 	}
 	return w.Report(), nil
 }

@@ -1,0 +1,100 @@
+package ptrace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"switchv2p/internal/simtime"
+)
+
+// TestStreamMatchesBuffered: streaming capture must record the same
+// observations a buffered tracer retains, readable through the same
+// Read entry point.
+func TestStreamMatchesBuffered(t *testing.T) {
+	var streamed bytes.Buffer
+	sw := newWorld(t)
+	str := New(sw.e, Options{Stream: &streamed})
+	sw.send(1, 0, sw.vips[0], sw.vips[9])
+	sw.send(2, 0, sw.vips[3], sw.vips[7])
+	sw.e.Run(simtime.Never)
+	str.Close()
+	if err := str.StreamErr(); err != nil {
+		t.Fatal(err)
+	}
+
+	bw := newWorld(t)
+	btr := New(bw.e, Options{})
+	bw.send(1, 0, bw.vips[0], bw.vips[9])
+	bw.send(2, 0, bw.vips[3], bw.vips[7])
+	bw.e.Run(simtime.Never)
+	var buffered bytes.Buffer
+	if _, err := btr.WriteTo(&buffered); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := Read(&streamed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Read(&buffered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 || len(got) != len(want) {
+		t.Fatalf("streamed %d records, buffered %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].At != want[i].At || got[i].Point != want[i].Point ||
+			got[i].Packet.UID != want[i].Packet.UID || got[i].Packet.Kind != want[i].Packet.Kind {
+			t.Fatalf("record %d diverges: streamed %+v, buffered %+v", i, got[i], want[i])
+		}
+	}
+	if str.Captured() != len(got) {
+		t.Errorf("Captured() = %d, want %d", str.Captured(), len(got))
+	}
+	if len(str.Records) != 0 {
+		t.Errorf("streaming tracer retained %d records in memory", len(str.Records))
+	}
+}
+
+func TestStreamTruncationDetected(t *testing.T) {
+	var buf bytes.Buffer
+	w := newWorld(t)
+	tr := New(w.e, Options{Stream: &buf})
+	w.send(1, 0, w.vips[0], w.vips[9])
+	w.e.Run(simtime.Never)
+	tr.Close()
+	if buf.Len() < 20 {
+		t.Fatalf("trace too short to truncate (%d bytes)", buf.Len())
+	}
+	truncated := bytes.NewReader(buf.Bytes()[:buf.Len()-3])
+	if _, err := Read(truncated); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("Read(truncated) = %v, want ErrUnexpectedEOF", err)
+	}
+}
+
+// TestCloseDoesNotClobberReplacement: closing a tracer that was
+// replaced by a newer one must leave the newer tracer capturing.
+func TestCloseDoesNotClobberReplacement(t *testing.T) {
+	w := newWorld(t)
+	old := New(w.e, Options{})
+	replacement := New(w.e, Options{})
+	old.Close()
+	if w.e.Tap == nil {
+		t.Fatal("old tracer's Close removed the replacement's tap")
+	}
+	w.send(1, 0, w.vips[0], w.vips[9])
+	w.e.Run(simtime.Never)
+	if len(replacement.Records) == 0 {
+		t.Error("replacement tracer captured nothing after old.Close")
+	}
+	if len(old.Records) != 0 {
+		t.Error("closed tracer kept capturing")
+	}
+	replacement.Close()
+	if w.e.Tap != nil || w.e.TapOwner != nil {
+		t.Error("owning tracer's Close must detach the tap")
+	}
+}

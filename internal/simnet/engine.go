@@ -103,6 +103,13 @@ type Engine struct {
 	// KindSwitch) or host (KindHost) — a capture point for tracing tools.
 	Tap func(at topology.NodeRef, p *packet.Packet)
 
+	// TapOwner optionally identifies the party that installed Tap.
+	// Closures compare unequal even to themselves, so tooling that
+	// replaces a tap (e.g. internal/ptrace) records its identity here
+	// and detaches only if it is still the owner — closing a replaced
+	// tracer then cannot clobber its successor's tap.
+	TapOwner any
+
 	// Prof, when non-nil, enables the engine profiling hooks: Run steps
 	// the queue manually, counting dispatched events, tracking the
 	// pending-event high-water mark and charging wall clock to the

@@ -1,6 +1,8 @@
 package telemetry
 
 import (
+	"io"
+
 	"switchv2p/internal/eventq"
 	"switchv2p/internal/simtime"
 )
@@ -10,6 +12,29 @@ import (
 // scale run, coarse enough to stay far off the packet event rate.
 const DefaultInterval = 10 * simtime.Microsecond
 
+// DefaultWindow is the number of recent samples a streaming collector
+// keeps in memory when StreamOptions.Window is zero.
+const DefaultWindow = 256
+
+// StreamOptions converts the sampler to windowed/streaming operation:
+// every tick is emitted incrementally to the configured writers and the
+// in-memory Timeline retains only the most recent Window samples, so a
+// run of any simulated length samples in constant memory. The emitted
+// byte streams match the buffered exporters exactly: CSV receives the
+// same bytes Timeline.WriteCSV would produce for an unbounded run, and
+// NDJSON the same bytes Timeline.WriteNDJSON would.
+type StreamOptions struct {
+	// CSV, when non-nil, receives the timeline incrementally in the wide
+	// CSV format (header at Attach, one row per tick).
+	CSV io.Writer
+	// NDJSON, when non-nil, receives the timeline incrementally as
+	// newline-delimited JSON (one header object, then one row object per
+	// tick).
+	NDJSON io.Writer
+	// Window bounds in-memory sample retention (0 = DefaultWindow).
+	Window int
+}
+
 // Options configures a Collector.
 type Options struct {
 	// Interval is the time-series sampling period (0 = DefaultInterval).
@@ -18,13 +43,30 @@ type Options struct {
 	// time-series sampler — no sampler events enter the simulation.
 	// Benchmarks use this to measure raw engine throughput.
 	ProfileOnly bool
+	// Stream, when non-nil, switches the sampler to streaming operation
+	// (see StreamOptions). Ignored when ProfileOnly is set: with no
+	// sampler there is nothing to stream.
+	Stream *StreamOptions
+	// MaxFaults bounds the fault timeline: once that many records exist
+	// further RecordFault calls are counted in FaultsDropped and
+	// discarded, keeping long fault-heavy horizons in constant memory
+	// (0 = unbounded).
+	MaxFaults int
 }
 
 // Series is one named time-series; Values is indexed like the owning
-// Timeline's Times.
+// Timeline's Times. In streaming operation Values holds only the
+// retained window; the unexported running aggregates cover every sample
+// ever recorded.
 type Series struct {
 	Name   string    `json:"name"`
 	Values []float64 `json:"values"`
+
+	// Running aggregates maintained by the collector tick. n == 0 means
+	// the series was filled directly (e.g. by tests) rather than through
+	// Collector sampling.
+	n         int64
+	last, max float64
 }
 
 // Timeline holds every sampled series over a shared time axis.
@@ -32,6 +74,12 @@ type Timeline struct {
 	Interval simtime.Duration
 	Times    []simtime.Time
 	Series   []*Series
+
+	// Dropped counts samples evicted from the in-memory window by a
+	// streaming collector (always 0 in buffered operation). Evicted
+	// samples were already emitted to the stream writers; only the
+	// in-memory copy is released.
+	Dropped int64
 }
 
 // Find returns the named series, or nil.
@@ -69,10 +117,21 @@ type Collector struct {
 	// Faults is the ordered timeline of fault events applied during the
 	// run (empty when no fault injection is configured).
 	Faults []FaultRecord
+	// FaultsDropped counts fault records discarded by Options.MaxFaults.
+	FaultsDropped int64
 
 	profileOnly bool
 	probes      []probe
 	q           *eventq.Queue
+
+	// Streaming state (nil/zero in buffered operation).
+	stream    *StreamOptions
+	window    int
+	ticks     int64
+	maxFaults int
+	csvw      *streamCSV
+	ndjw      *streamNDJSON
+	streamErr error
 }
 
 type probe struct {
@@ -86,12 +145,21 @@ func New(opts Options) *Collector {
 	if iv <= 0 {
 		iv = DefaultInterval
 	}
-	return &Collector{
+	c := &Collector{
 		Interval:    iv,
 		Registry:    NewRegistry(),
 		Timeline:    &Timeline{Interval: iv},
 		profileOnly: opts.ProfileOnly,
+		maxFaults:   opts.MaxFaults,
 	}
+	if opts.Stream != nil && !opts.ProfileOnly {
+		c.stream = opts.Stream
+		c.window = opts.Stream.Window
+		if c.window <= 0 {
+			c.window = DefaultWindow
+		}
+	}
+	return c
 }
 
 // ProfileOnly reports whether the time-series sampler is disabled
@@ -103,11 +171,40 @@ func (c *Collector) ProfileOnly() bool {
 	return c.profileOnly
 }
 
+// Streaming reports whether the sampler runs in windowed/streaming
+// operation (false for a nil collector).
+func (c *Collector) Streaming() bool {
+	if c == nil {
+		return false
+	}
+	return c.stream != nil
+}
+
+// Ticks returns the total number of sampling ticks taken, including
+// samples already evicted from a streaming window (0 for a nil
+// collector).
+func (c *Collector) Ticks() int64 {
+	if c == nil {
+		return 0
+	}
+	if c.ticks == 0 && c.Timeline != nil {
+		// A timeline filled directly rather than through tick().
+		return int64(len(c.Timeline.Times))
+	}
+	return c.ticks
+}
+
 // RecordFault appends one event to the fault timeline. The injector
 // calls it at the simulation time the fault is applied, so records are
-// naturally in non-decreasing time order. Safe on a nil collector.
+// naturally in non-decreasing time order. Once Options.MaxFaults
+// records exist, further events only bump FaultsDropped. Safe on a nil
+// collector.
 func (c *Collector) RecordFault(timeUs float64, kind, detail string) {
 	if c == nil {
+		return
+	}
+	if c.maxFaults > 0 && len(c.Faults) >= c.maxFaults {
+		c.FaultsDropped++
 		return
 	}
 	c.Faults = append(c.Faults, FaultRecord{TimeUs: timeUs, Kind: kind, Detail: detail})
@@ -129,7 +226,8 @@ func (c *Collector) AddProbe(name string, fn func() float64) {
 // sampler re-arms itself only while other events remain pending, so it
 // never keeps a drained simulation alive, and its ticks are pure
 // observations — an attached collector does not change any result.
-// A nil collector attaches nothing.
+// In streaming operation this also emits the exporter headers, so all
+// probes must be registered first. A nil collector attaches nothing.
 func (c *Collector) Attach(q *eventq.Queue) {
 	if c == nil {
 		return
@@ -138,13 +236,41 @@ func (c *Collector) Attach(q *eventq.Queue) {
 		return
 	}
 	c.q = q
+	if c.stream != nil {
+		c.initStreams()
+	}
 	q.After(c.Interval, c.tick)
 }
 
 func (c *Collector) tick() {
-	c.Timeline.Times = append(c.Timeline.Times, c.q.Now())
+	now := c.q.Now()
+	c.ticks++
+	t := c.Timeline
+	t.Times = append(t.Times, now)
 	for _, p := range c.probes {
-		p.series.Values = append(p.series.Values, p.fn())
+		v := p.fn()
+		s := p.series
+		s.Values = append(s.Values, v)
+		s.n++
+		s.last = v
+		if s.n == 1 || v > s.max {
+			s.max = v
+		}
+	}
+	if c.stream != nil {
+		c.emit(now)
+		if len(t.Times) > c.window {
+			// Evict the oldest sample: shift in place so the backing
+			// arrays stop growing once the window fills.
+			n := copy(t.Times, t.Times[1:])
+			t.Times = t.Times[:n]
+			for _, p := range c.probes {
+				vs := p.series.Values
+				m := copy(vs, vs[1:])
+				p.series.Values = vs[:m]
+			}
+			t.Dropped++
+		}
 	}
 	// Re-arm only while the simulation has work left: when this tick is
 	// dispatched the queue holds exactly the other pending events.

@@ -31,23 +31,32 @@ type jsonExport struct {
 	Counters   []CounterValue `json:"counters"`
 	Gauges     []GaugeValue   `json:"gauges"`
 	Faults     []FaultRecord  `json:"faults,omitempty"`
-	Profile    jsonProfile    `json:"profile"`
+	// SamplesDropped / FaultsDropped surface streaming-window and
+	// fault-cap evictions; both are omitted (keeping buffered exports
+	// byte-identical to prior versions) when zero.
+	SamplesDropped int64       `json:"samples_dropped,omitempty"`
+	FaultsDropped  int64       `json:"faults_dropped,omitempty"`
+	Profile        jsonProfile `json:"profile"`
 }
 
 // WriteJSON exports the full collector state — timeline, registry and
-// engine profile — as one JSON document. A nil collector writes
-// nothing and reports success.
+// engine profile — as one JSON document. In streaming operation the
+// timeline section covers only the retained window (SamplesDropped
+// reports how many older samples were evicted after being streamed).
+// A nil collector writes nothing and reports success.
 func (c *Collector) WriteJSON(w io.Writer) error {
 	if c == nil {
 		return nil
 	}
 	doc := jsonExport{
-		IntervalUs: c.Interval.Micros(),
-		TimesUs:    make([]float64, 0, len(c.Timeline.Times)),
-		Series:     c.Timeline.Series,
-		Counters:   c.Registry.Counters(),
-		Gauges:     c.Registry.Gauges(),
-		Faults:     c.Faults,
+		IntervalUs:     c.Interval.Micros(),
+		TimesUs:        make([]float64, 0, len(c.Timeline.Times)),
+		Series:         c.Timeline.Series,
+		Counters:       c.Registry.Counters(),
+		Gauges:         c.Registry.Gauges(),
+		Faults:         c.Faults,
+		SamplesDropped: c.Timeline.Dropped,
+		FaultsDropped:  c.FaultsDropped,
 		Profile: jsonProfile{
 			Events:           c.Profile.Events,
 			HeapHighWater:    c.Profile.HeapHighWater,
@@ -138,7 +147,11 @@ func (c *Collector) Summary() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "engine    %s\n", c.Profile.String())
 	fmt.Fprintf(&b, "samples   %d ticks every %v (%d series)\n",
-		len(c.Timeline.Times), c.Interval, len(c.Timeline.Series))
+		c.Ticks(), c.Interval, len(c.Timeline.Series))
+	if c.Timeline.Dropped > 0 {
+		fmt.Fprintf(&b, "          streaming: %d retained in window, %d evicted after emission\n",
+			len(c.Timeline.Times), c.Timeline.Dropped)
+	}
 	for _, cv := range c.Registry.Counters() {
 		fmt.Fprintf(&b, "counter   %-32s %d\n", cv.Name, cv.Value)
 	}
@@ -146,20 +159,30 @@ func (c *Collector) Summary() string {
 		fmt.Fprintf(&b, "gauge     %-32s %d (high water %d)\n", gv.Name, gv.Value, gv.HighWater)
 	}
 	for _, s := range c.Timeline.Series {
-		if len(s.Values) == 0 {
-			continue
-		}
-		last := s.Values[len(s.Values)-1]
-		max := s.Values[0]
-		for _, v := range s.Values {
-			if v > max {
-				max = v
+		// The running aggregates cover samples already evicted from a
+		// streaming window; series filled directly (n == 0, e.g. by
+		// tests) fall back to scanning the retained values.
+		last, max, have := s.last, s.max, s.n > 0
+		if !have && len(s.Values) > 0 {
+			have = true
+			last = s.Values[len(s.Values)-1]
+			max = s.Values[0]
+			for _, v := range s.Values {
+				if v > max {
+					max = v
+				}
 			}
+		}
+		if !have {
+			continue
 		}
 		fmt.Fprintf(&b, "series    %-32s last=%.4g max=%.4g\n", s.Name, last, max)
 	}
 	for _, f := range c.Faults {
 		fmt.Fprintf(&b, "fault     t=%-10s %-16s %s\n", fixed(f.TimeUs)+"us", f.Kind, f.Detail)
+	}
+	if c.FaultsDropped > 0 {
+		fmt.Fprintf(&b, "fault     (+%d further events beyond the MaxFaults cap)\n", c.FaultsDropped)
 	}
 	return b.String()
 }

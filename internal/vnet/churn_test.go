@@ -1,0 +1,92 @@
+package vnet
+
+import (
+	"testing"
+)
+
+func TestReserveThenPlace(t *testing.T) {
+	n := newNet(t)
+	servers := n.Topology().Servers()
+	vip := n.ReserveVIP()
+	if _, ok := n.Lookup(vip); ok {
+		t.Fatal("reserved VIP must not resolve before placement")
+	}
+	v0 := n.Version
+	if err := n.PlaceVM(vip, servers[3], 7); err != nil {
+		t.Fatal(err)
+	}
+	if pip, ok := n.Lookup(vip); !ok || pip != n.Topology().Hosts[servers[3]].PIP {
+		t.Fatalf("Lookup after placement = %v,%v", pip, ok)
+	}
+	if got := n.TenantOf(vip); got != 7 {
+		t.Fatalf("TenantOf = %d, want 7", got)
+	}
+	if !n.HostHasVM(servers[3], vip) {
+		t.Fatal("HostHasVM false after placement")
+	}
+	if n.Version != v0+1 {
+		t.Fatalf("Version = %d, want %d", n.Version, v0+1)
+	}
+	// Reservations must not collide with later AddVM allocations.
+	other := n.AddVM(servers[0])
+	if other == vip {
+		t.Fatal("AddVM reissued a reserved VIP")
+	}
+}
+
+func TestPlaceVMErrors(t *testing.T) {
+	n := newNet(t)
+	servers := n.Topology().Servers()
+	vip := n.AddVM(servers[0])
+	if err := n.PlaceVM(vip, servers[1], 0); err == nil {
+		t.Error("placing an already-placed VIP must fail")
+	}
+	gw := n.Topology().Gateways()[0]
+	if err := n.PlaceVM(n.ReserveVIP(), gw, 0); err == nil {
+		t.Error("placing on a gateway host must fail")
+	}
+	if err := n.PlaceVM(n.ReserveVIP(), servers[0], MaxTenantID+1); err == nil {
+		t.Error("out-of-range tenant must fail")
+	}
+}
+
+func TestRemoveVM(t *testing.T) {
+	n := newNet(t)
+	servers := n.Topology().Servers()
+	vip, err := n.AddVMForTenant(servers[0], 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Migrate first so a follow-me rule exists at the old host.
+	if err := n.Migrate(vip, servers[1]); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := n.FollowMe(servers[0], vip); !ok {
+		t.Fatal("expected follow-me rule at old host")
+	}
+	v0 := n.Version
+	if err := n.RemoveVM(vip); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := n.Lookup(vip); ok {
+		t.Error("removed VIP still resolves")
+	}
+	if n.HostHasVM(servers[1], vip) {
+		t.Error("removed VM still listed at its host")
+	}
+	if got := n.TenantOf(vip); got != 0 {
+		t.Errorf("TenantOf after removal = %d, want 0", got)
+	}
+	if _, ok := n.FollowMe(servers[0], vip); ok {
+		t.Error("follow-me rule survived removal")
+	}
+	if n.Version != v0+1 {
+		t.Errorf("Version = %d, want %d", n.Version, v0+1)
+	}
+	if err := n.RemoveVM(vip); err == nil {
+		t.Error("removing an unknown VIP must fail")
+	}
+	if n.NumVMs() != 0 {
+		t.Errorf("NumVMs = %d, want 0", n.NumVMs())
+	}
+}

@@ -49,4 +49,22 @@ echo "== benches (one iteration each, smoke) =="
 # double as smoke coverage for the allocation-free hot path.
 go test -bench=. -benchmem -benchtime=1x -run='^$' ./...
 
+
+echo "== production-day scenario smoke =="
+# Short horizon: the quick scale compresses the six-phase operational
+# day into 24ms of simulated time, so the smoke stays seconds of wall
+# clock while still driving churn, a migration storm, gateway drains
+# and a rolling upgrade. Assert every phase shows up with an SLO verdict.
+scenario_out="$(go run ./cmd/experiments -scenario production-day -scale quick -parallel)"
+for phase in morning-ramp midday-churn migration-storm gateway-autoscale rolling-upgrade evening-drain; do
+  echo "$scenario_out" | grep -q "$phase" || { echo "scenario smoke: phase $phase missing from output"; exit 1; }
+done
+echo "$scenario_out" | grep -Eq 'pass|FAIL' || { echo "scenario smoke: no SLO verdicts in output"; exit 1; }
+
+echo "== bench snapshots (BENCH_engine.json, BENCH_scenario.json) =="
+# Machine-readable perf trajectory: engine event throughput (the
+# BenchmarkEngineEventsPerSec measurement) and the quick production-day
+# cost. Committing the refreshed files records the trend over time.
+go run ./cmd/benchsnap -out .
+
 echo "CI OK"

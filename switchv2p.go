@@ -37,6 +37,7 @@ import (
 	"switchv2p/internal/faults"
 	"switchv2p/internal/harness"
 	"switchv2p/internal/p4model"
+	"switchv2p/internal/scenario"
 	"switchv2p/internal/simtime"
 	"switchv2p/internal/telemetry"
 	"switchv2p/internal/topology"
@@ -96,9 +97,28 @@ type (
 	// NodeRef identifies a switch or host for link-fault endpoints.
 	NodeRef = topology.NodeRef
 
+	// Scenario is a long-horizon, multi-phase operational scenario
+	// (diurnal load, tenant churn, migration storms, gateway
+	// autoscaling, rolling upgrades) with per-phase SLO probes.
+	Scenario = scenario.Spec
+	// ScenarioPhase is one contiguous segment of a scenario timeline.
+	ScenarioPhase = scenario.Phase
+	// ScenarioSLO declares a phase's service-level objectives.
+	ScenarioSLO = scenario.SLO
+	// ScenarioReport is the per-phase SLO report of a scenario run.
+	ScenarioReport = scenario.Report
+	// ScenarioPhaseReport is one phase's measured outcome.
+	ScenarioPhaseReport = scenario.PhaseReport
+	// DayOptions sizes the canonical ProductionDay scenario.
+	DayOptions = scenario.DayOptions
+
 	// TelemetryOptions enables the observability subsystem on a run
 	// (set Config.Telemetry to a non-nil value).
 	TelemetryOptions = telemetry.Options
+	// TelemetryStreamOptions switches the collector to streaming
+	// operation (bounded ring window, incremental CSV/NDJSON emission)
+	// so long horizons sample in constant memory.
+	TelemetryStreamOptions = telemetry.StreamOptions
 	// TelemetryCollector holds a run's collected telemetry
 	// (Report.Telemetry).
 	TelemetryCollector = telemetry.Collector
@@ -181,6 +201,22 @@ func Migration(cfg MigrationConfig) (*MigrationResult, error) {
 // DefaultMigrationConfig returns the paper's §5.2 parameters.
 func DefaultMigrationConfig(base Config) MigrationConfig {
 	return harness.DefaultMigrationConfig(base)
+}
+
+// ProductionDay builds the canonical simulated operational day:
+// morning diurnal ramp, midday tenant churn, a migration storm, gateway
+// fleet autoscaling, a rolling fabric upgrade, and an evening drain.
+func ProductionDay(base Config, o DayOptions) Scenario { return scenario.ProductionDay(base, o) }
+
+// RunScenario plans and executes a scenario; same seed, same report,
+// byte for byte.
+func RunScenario(s Scenario) (*ScenarioReport, error) { return scenario.Run(s) }
+
+// RunScenarioAll runs a scenario once per scheme (nil = AllSchemes)
+// with at most workers concurrent runs; reports come back in scheme
+// order at any worker count.
+func RunScenarioAll(s Scenario, schemes []string, workers int) ([]*ScenarioReport, error) {
+	return scenario.RunAll(s, schemes, workers)
 }
 
 // FT8 returns the paper's FT8-10K topology configuration (Table 3).
