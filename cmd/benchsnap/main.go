@@ -1,9 +1,12 @@
 // Command benchsnap captures the repo's machine-readable performance
 // trajectory: BENCH_engine.json (raw discrete-event throughput, the
-// same measurement BenchmarkEngineEventsPerSec reports) and
+// same measurement BenchmarkEngineEventsPerSec reports),
 // BENCH_scenario.json (wall-clock and per-phase SLO outcomes of a quick
-// production-day scenario). CI runs it on every build; committing the
-// files records how engine throughput and scenario cost move over time.
+// production-day scenario), and BENCH_lint.json (v2plint wall time over
+// the whole module, per analyzer, plus the finding count — tracking the
+// cost of the growing static-analysis suite). CI runs it on every
+// build; committing the files records how engine throughput, scenario
+// cost, and lint cost move over time.
 //
 // Wall-clock figures vary with the host; the simulation-side fields
 // (events, flows, SLO verdicts) are deterministic.
@@ -17,6 +20,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"switchv2p/internal/analysis/v2plint"
 	"switchv2p/internal/harness"
 	"switchv2p/internal/scenario"
 	"switchv2p/internal/simtime"
@@ -87,6 +91,46 @@ func scenarioSnapshot() (*scenarioSnap, error) {
 	}, nil
 }
 
+type lintSnap struct {
+	Config     string             `json:"config"`
+	Packages   int                `json:"packages"`
+	Analyzers  int                `json:"analyzers"`
+	Findings   int                `json:"findings"`
+	WallMs     float64            `json:"wall_ms"`
+	AnalyzerMs map[string]float64 `json:"analyzer_ms"`
+}
+
+func lintSnapshot() (*lintSnap, error) {
+	t0 := time.Now()
+	pkgs, err := v2plint.LoadPackages("", []string{"switchv2p/..."})
+	if err != nil {
+		return nil, err
+	}
+	if len(pkgs) == 0 {
+		return nil, fmt.Errorf("no packages loaded")
+	}
+	prog := v2plint.NewProgram(pkgs[0].Fset)
+	prog.EnableTimings()
+	for _, p := range pkgs {
+		prog.Add(p.Files, p.Pkg, p.Info)
+	}
+	analyzers := v2plint.Analyzers()
+	diags := prog.Run(analyzers)
+	wall := time.Since(t0)
+	per := map[string]float64{}
+	for name, d := range prog.Timings() {
+		per[name] = float64(d) / float64(time.Millisecond)
+	}
+	return &lintSnap{
+		Config:     "v2plint switchv2p/... (load + call graph + all analyzers)",
+		Packages:   len(pkgs),
+		Analyzers:  len(analyzers),
+		Findings:   len(diags),
+		WallMs:     float64(wall) / float64(time.Millisecond),
+		AnalyzerMs: per,
+	}, nil
+}
+
 func writeJSON(dir, name string, v any) error {
 	f, err := os.Create(filepath.Join(dir, name))
 	if err != nil {
@@ -131,4 +175,16 @@ func main() {
 	}
 	fmt.Printf("BENCH_scenario.json: %d flows over %s in %.0fms wall, %d/%d phases met SLO\n",
 		scen.Report.Flows, scen.Horizon, scen.WallMs, pass, len(scen.Report.Phases))
+
+	lint, err := lintSnapshot()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchsnap lint: %v\n", err)
+		os.Exit(1)
+	}
+	if err := writeJSON(*out, "BENCH_lint.json", lint); err != nil {
+		fmt.Fprintf(os.Stderr, "benchsnap: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("BENCH_lint.json: %d analyzers over %d packages in %.0fms wall, %d finding(s)\n",
+		lint.Analyzers, lint.Packages, lint.WallMs, lint.Findings)
 }

@@ -4,8 +4,14 @@
 // Standalone:
 //
 //	go run ./cmd/v2plint ./...
-//	go run ./cmd/v2plint -json ./...   # machine-readable findings
-//	go run ./cmd/v2plint -fix ./...    # apply suggested fixes in place
+//	go run ./cmd/v2plint -json ./...            # machine-readable findings
+//	go run ./cmd/v2plint -fix ./...             # apply suggested fixes in place
+//	go run ./cmd/v2plint -time ./...            # per-analyzer wall time on stderr
+//	go run ./cmd/v2plint -jsonfile out.json ./... # plain text on stdout, JSON to a file
+//
+// All requested packages are loaded into one call-graph Program, so the
+// interprocedural analyzers (hotpathreach, workersafe, planpure) see
+// cross-package edges and interface implementations.
 //
 // Under the standard vet driver:
 //
@@ -20,14 +26,17 @@
 package main
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/json"
 	"fmt"
+	"go/token"
 	"io"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	"switchv2p/internal/analysis/v2plint"
 )
@@ -52,15 +61,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return v2plint.RunVetTool(args[0], stderr)
 		}
 	}
-	var jsonOut, applyFixes bool
+	var jsonOut, applyFixes, showTime bool
+	var jsonFile string
 	var patterns []string
-	for _, a := range args {
-		switch a {
-		case "-json", "--json":
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		switch {
+		case a == "-json" || a == "--json":
 			jsonOut = true
-		case "-fix", "--fix":
+		case a == "-fix" || a == "--fix":
 			applyFixes = true
-		case "-h", "-help", "--help":
+		case a == "-time" || a == "--time":
+			showTime = true
+		case a == "-jsonfile" || a == "--jsonfile":
+			if i+1 >= len(args) {
+				fmt.Fprintln(stderr, "v2plint: -jsonfile needs a path")
+				return 1
+			}
+			i++
+			jsonFile = args[i]
+		case strings.HasPrefix(a, "-jsonfile="):
+			jsonFile = strings.TrimPrefix(a, "-jsonfile=")
+		case a == "-h" || a == "-help" || a == "--help":
 			usage(stdout)
 			return 0
 		default:
@@ -78,18 +100,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "v2plint: %v\n", err)
 		return 1
 	}
-	var diags []v2plint.Diagnostic
-	for _, p := range pkgs {
-		diags = append(diags, v2plint.RunPackage(p.Fset, p.Files, p.Pkg, p.Info, v2plint.Analyzers())...)
-	}
 	if len(pkgs) == 0 {
 		if jsonOut {
 			fmt.Fprintln(stdout, "[]")
 		}
 		return 0
 	}
-	// All loaded packages share one FileSet.
+	// All loaded packages share one FileSet; load them into a single
+	// Program so cross-package call edges and interface implementations
+	// resolve before the interprocedural analyzers run.
 	fs := pkgs[0].Fset
+	prog := v2plint.NewProgram(fs)
+	if showTime {
+		prog.EnableTimings()
+	}
+	for _, p := range pkgs {
+		prog.Add(p.Files, p.Pkg, p.Info)
+	}
+	diags := prog.Run(v2plint.Analyzers())
+	if showTime {
+		printTimings(stderr, prog.Timings())
+	}
 
 	if applyFixes {
 		fixed, err := v2plint.ApplyFixes(fs, diags)
@@ -124,39 +155,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 		diags = rest
 	}
 
+	if jsonFile != "" {
+		var buf bytes.Buffer
+		if err := encodeFindings(&buf, fs, diags); err != nil {
+			fmt.Fprintf(stderr, "v2plint: %v\n", err)
+			return 1
+		}
+		if err := os.WriteFile(jsonFile, buf.Bytes(), 0o644); err != nil {
+			fmt.Fprintf(stderr, "v2plint: %v\n", err)
+			return 1
+		}
+	}
 	if jsonOut {
-		type finding struct {
-			File     string `json:"file"`
-			Line     int    `json:"line"`
-			Col      int    `json:"col"`
-			Analyzer string `json:"analyzer"`
-			Message  string `json:"message"`
-			Fix      string `json:"fix,omitempty"`
-		}
-		out := make([]finding, 0, len(diags))
-		for _, d := range diags {
-			pos := fs.Position(d.Pos)
-			f := finding{
-				File:     relPath(pos.Filename),
-				Line:     pos.Line,
-				Col:      pos.Column,
-				Analyzer: d.Analyzer,
-				Message:  d.Message,
-			}
-			if len(d.Fixes) > 0 {
-				f.Fix = d.Fixes[0].Message
-			}
-			out = append(out, f)
-		}
-		enc := json.NewEncoder(stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(out); err != nil {
+		if err := encodeFindings(stdout, fs, diags); err != nil {
 			fmt.Fprintf(stderr, "v2plint: %v\n", err)
 			return 1
 		}
 	} else {
+		// file:line:col relative to the working directory — the format
+		// .github/v2plint-problem-matcher.json turns into annotations.
 		for _, d := range diags {
-			fmt.Fprintf(stdout, "%s: %s: %s\n", fs.Position(d.Pos), d.Analyzer, d.Message)
+			pos := fs.Position(d.Pos)
+			fmt.Fprintf(stdout, "%s:%d:%d: %s: %s\n", relPath(pos.Filename), pos.Line, pos.Column, d.Analyzer, d.Message)
 		}
 	}
 	if len(diags) > 0 {
@@ -164,6 +184,55 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	return 0
+}
+
+// encodeFindings writes the diagnostics as the indented JSON array that
+// -json prints and -jsonfile persists for CI artifacts.
+func encodeFindings(w io.Writer, fs *token.FileSet, diags []v2plint.Diagnostic) error {
+	type finding struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Col      int    `json:"col"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+		Fix      string `json:"fix,omitempty"`
+	}
+	out := make([]finding, 0, len(diags))
+	for _, d := range diags {
+		pos := fs.Position(d.Pos)
+		f := finding{
+			File:     relPath(pos.Filename),
+			Line:     pos.Line,
+			Col:      pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		}
+		if len(d.Fixes) > 0 {
+			f.Fix = d.Fixes[0].Message
+		}
+		out = append(out, f)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// printTimings reports per-analyzer wall time (plus the shared
+// "callgraph" construction entry), slowest first.
+func printTimings(w io.Writer, timings map[string]time.Duration) {
+	names := make([]string, 0, len(timings))
+	for name := range timings {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if timings[names[i]] != timings[names[j]] {
+			return timings[names[i]] > timings[names[j]]
+		}
+		return names[i] < names[j]
+	})
+	for _, name := range names {
+		fmt.Fprintf(w, "v2plint: %-14s %s\n", name, timings[name].Round(time.Microsecond))
+	}
 }
 
 // relPath shortens a file path relative to the working directory for
@@ -181,9 +250,11 @@ func relPath(file string) string {
 }
 
 func usage(w io.Writer) {
-	fmt.Fprintln(w, "usage: v2plint [-json] [-fix] [packages]")
-	fmt.Fprintln(w, "  -json  emit findings as a JSON array (file/line/col/analyzer/message/fix)")
-	fmt.Fprintln(w, "  -fix   apply suggested fixes in place; unfixable findings still fail")
+	fmt.Fprintln(w, "usage: v2plint [-json] [-jsonfile path] [-fix] [-time] [packages]")
+	fmt.Fprintln(w, "  -json           emit findings as a JSON array (file/line/col/analyzer/message/fix)")
+	fmt.Fprintln(w, "  -jsonfile path  write the JSON array to path while keeping plain text on stdout")
+	fmt.Fprintln(w, "  -fix            apply suggested fixes in place; unfixable findings still fail")
+	fmt.Fprintln(w, "  -time           report per-analyzer wall time on stderr")
 	fmt.Fprintln(w, "\nAnalyzers:")
 	for _, a := range v2plint.Analyzers() {
 		fmt.Fprintf(w, "  %-14s %s\n", a.Name, a.Doc)

@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
@@ -55,6 +57,28 @@ func TestJSONCleanOutput(t *testing.T) {
 	}
 }
 
+// TestJSONFileOutput pins the -jsonfile contract CI's artifact upload
+// relies on: the JSON array goes to the file while stdout stays in
+// plain-text (problem-matcher) format.
+func TestJSONFileOutput(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "findings.json")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-jsonfile", path, "switchv2p/internal/simtime"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("-jsonfile on clean package: exit %d\n%s%s", code, stdout.String(), stderr.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("findings file not written: %v", err)
+	}
+	if got := strings.TrimSpace(string(data)); got != "[]" {
+		t.Fatalf("findings file = %q, want []", got)
+	}
+	if out := stdout.String(); out != "" {
+		t.Fatalf("stdout = %q, want empty plain-text output on a clean run", out)
+	}
+}
+
 func TestUnknownFlag(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	if code := run([]string{"-bogus"}, &stdout, &stderr); code != 1 {
@@ -62,6 +86,154 @@ func TestUnknownFlag(t *testing.T) {
 	}
 	if !strings.Contains(stderr.String(), "unknown flag") {
 		t.Fatalf("unknown flag: stderr %q does not mention it", stderr.String())
+	}
+}
+
+// TestVetConfigRoundTrip drives the unit-checker protocol by hand:
+// a dependency package is processed VetxOnly (producing summary facts
+// in its .vetx), then the dependent package is analyzed with and
+// without those facts. With facts, the hot root's cross-package
+// allocation is reported with its witness chain; without, the analyzer
+// degrades gracefully to silence — pinning both that facts work and
+// that their absence cannot produce false positives.
+func TestVetConfigRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs go list -export")
+	}
+	dir := t.TempDir()
+	writeFile := func(rel, content string) string {
+		t.Helper()
+		path := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	writeFile("go.mod", "module example\n\ngo 1.22\n")
+	helperGo := writeFile("helper/helper.go",
+		"package helper\n\nfunc Describe(n int) []byte {\n\treturn make([]byte, n)\n}\n")
+	hotGo := writeFile("hot/hot.go",
+		"package hot\n\nimport \"example/helper\"\n\n//v2plint:hotpath\nfunc Fanout(n int) {\n\t_ = helper.Describe(n)\n}\n")
+
+	// Export data for the helper, as cmd/go would hand it to the tool.
+	list := exec.Command("go", "list", "-export", "-f", "{{.Export}}", "./helper")
+	list.Dir = dir
+	exportOut, err := list.Output()
+	if err != nil {
+		t.Fatalf("go list -export: %v", err)
+	}
+	helperExport := strings.TrimSpace(string(exportOut))
+	if helperExport == "" {
+		t.Fatal("go list -export returned no export file")
+	}
+
+	type cfg struct {
+		ID          string
+		Compiler    string
+		Dir         string
+		ImportPath  string
+		GoFiles     []string
+		ImportMap   map[string]string
+		PackageFile map[string]string
+		Standard    map[string]bool
+		PackageVetx map[string]string
+		VetxOnly    bool
+		VetxOutput  string
+	}
+	writeCfg := func(name string, c cfg) string {
+		t.Helper()
+		data, err := json.Marshal(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return writeFile(name, string(data))
+	}
+
+	// Phase 1: facts-only pass over the dependency.
+	helperVetx := filepath.Join(dir, "helper.vetx")
+	helperCfg := writeCfg("helper.cfg", cfg{
+		ID: "example/helper", Compiler: "gc",
+		Dir: filepath.Dir(helperGo), ImportPath: "example/helper",
+		GoFiles: []string{helperGo}, VetxOnly: true, VetxOutput: helperVetx,
+	})
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{helperCfg}, &stdout, &stderr); code != 0 {
+		t.Fatalf("helper VetxOnly pass: exit %d\n%s", code, stderr.String())
+	}
+	facts, err := os.ReadFile(helperVetx)
+	if err != nil {
+		t.Fatalf("helper vetx not written: %v", err)
+	}
+	var summaries map[string]struct {
+		Display string `json:"display"`
+		Effects map[string]struct {
+			Detail string `json:"detail"`
+		} `json:"effects"`
+	}
+	if err := json.Unmarshal(facts, &summaries); err != nil {
+		t.Fatalf("helper vetx is not summary JSON: %v\n%s", err, facts)
+	}
+	s, ok := summaries["example/helper.Describe"]
+	if !ok {
+		t.Fatalf("vetx facts missing example/helper.Describe: %s", facts)
+	}
+	if s.Effects["alloc"].Detail != "make" {
+		t.Fatalf("Describe alloc effect = %+v, want detail \"make\"", s.Effects)
+	}
+
+	// Phase 2: analyze the dependent package with the facts — the
+	// cross-package chain must be reported.
+	hotVetx := filepath.Join(dir, "hot.vetx")
+	hotCfg := writeCfg("hot.cfg", cfg{
+		ID: "example/hot", Compiler: "gc",
+		Dir: filepath.Dir(hotGo), ImportPath: "example/hot",
+		GoFiles:     []string{hotGo},
+		ImportMap:   map[string]string{"example/helper": "example/helper"},
+		PackageFile: map[string]string{"example/helper": helperExport},
+		PackageVetx: map[string]string{"example/helper": helperVetx},
+		VetxOutput:  hotVetx,
+	})
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{hotCfg}, &stdout, &stderr); code != 2 {
+		t.Fatalf("hot pass with facts: exit %d, want 2\n%s", code, stderr.String())
+	}
+	if msg := stderr.String(); !strings.Contains(msg, "hotpathreach") ||
+		!strings.Contains(msg, "Fanout → helper.Describe → make") {
+		t.Fatalf("hot pass with facts: missing witness chain in output:\n%s", msg)
+	}
+
+	// Phase 3: same package without the dependency facts — the graph
+	// cannot see into helper, so the tool stays silent (degradation,
+	// not false positives).
+	hotNoFactsCfg := writeCfg("hotnofacts.cfg", cfg{
+		ID: "example/hot", Compiler: "gc",
+		Dir: filepath.Dir(hotGo), ImportPath: "example/hot",
+		GoFiles:     []string{hotGo},
+		ImportMap:   map[string]string{"example/helper": "example/helper"},
+		PackageFile: map[string]string{"example/helper": helperExport},
+	})
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{hotNoFactsCfg}, &stdout, &stderr); code != 0 {
+		t.Fatalf("hot pass without facts: exit %d, want 0\n%s", code, stderr.String())
+	}
+
+	// A standard-library package writes an empty vetx and is never
+	// analyzed.
+	stdVetx := filepath.Join(dir, "std.vetx")
+	stdCfg := writeCfg("std.cfg", cfg{
+		ID: "fmt", Compiler: "gc", Dir: dir, ImportPath: "fmt",
+		Standard: map[string]bool{"fmt": true}, VetxOnly: true, VetxOutput: stdVetx,
+	})
+	if code := run([]string{stdCfg}, &stdout, &stderr); code != 0 {
+		t.Fatalf("standard package pass: exit %d\n%s", code, stderr.String())
+	}
+	if data, err := os.ReadFile(stdVetx); err != nil || len(data) != 0 {
+		t.Fatalf("standard package vetx: data %q err %v, want empty file", data, err)
 	}
 }
 

@@ -16,6 +16,13 @@
 // simtime or eventq) and then against the standard library, which is
 // type-checked from GOROOT source so the harness needs neither network
 // access nor precompiled export data.
+//
+// All packages named in one Run call are loaded into a single call-graph
+// Program, so the interprocedural analyzers see cross-package edges
+// between them. List packages dependency-first (a helper before the
+// package that imports it): that way the import resolves to the same
+// type-checked instance the Program holds, which interface resolution
+// relies on.
 package analysistest
 
 import (
@@ -50,6 +57,15 @@ func TestData(t *testing.T) string {
 // and checks the diagnostics against the package's want comments.
 func Run(t *testing.T, testdata string, a *v2plint.Analyzer, pkgPaths ...string) {
 	t.Helper()
+	fset, files, diags := analyze(t, testdata, a, pkgPaths)
+	checkWants(t, fset, files, diags)
+}
+
+// analyze loads every named package into one shared Program, runs the
+// analyzer, and returns the FileSet, the union of parsed files, and the
+// diagnostics.
+func analyze(t *testing.T, testdata string, a *v2plint.Analyzer, pkgPaths []string) (*token.FileSet, []*ast.File, []v2plint.Diagnostic) {
+	t.Helper()
 	fset := token.NewFileSet()
 	imp := &testImporter{
 		fset: fset,
@@ -57,6 +73,8 @@ func Run(t *testing.T, testdata string, a *v2plint.Analyzer, pkgPaths ...string)
 		std:  importer.ForCompiler(fset, "source", nil),
 		pkgs: map[string]*types.Package{},
 	}
+	prog := v2plint.NewProgram(fset)
+	var allFiles []*ast.File
 	for _, path := range pkgPaths {
 		// Parse with test files included so analyzers' _test.go
 		// exemptions are exercised.
@@ -65,9 +83,10 @@ func Run(t *testing.T, testdata string, a *v2plint.Analyzer, pkgPaths ...string)
 			t.Fatalf("analysistest: %v", err)
 		}
 		pkg, info := imp.check(path, files)
-		diags := v2plint.RunPackage(fset, files, pkg, info, []*v2plint.Analyzer{a})
-		checkWants(t, fset, files, diags)
+		prog.Add(files, pkg, info)
+		allFiles = append(allFiles, files...)
 	}
+	return fset, allFiles, prog.Run([]*v2plint.Analyzer{a})
 }
 
 // RunWithSuggestedFixes is Run plus golden-file fix assertions: every
@@ -78,49 +97,37 @@ func Run(t *testing.T, testdata string, a *v2plint.Analyzer, pkgPaths ...string)
 // stale.
 func RunWithSuggestedFixes(t *testing.T, testdata string, a *v2plint.Analyzer, pkgPaths ...string) {
 	t.Helper()
-	fset := token.NewFileSet()
-	imp := &testImporter{
-		fset: fset,
-		src:  filepath.Join(testdata, "src"),
-		std:  importer.ForCompiler(fset, "source", nil),
-		pkgs: map[string]*types.Package{},
-	}
-	for _, path := range pkgPaths {
-		files, err := imp.parseDir(path, true)
-		if err != nil {
-			t.Fatalf("analysistest: %v", err)
-		}
-		pkg, info := imp.check(path, files)
-		diags := v2plint.RunPackage(fset, files, pkg, info, []*v2plint.Analyzer{a})
-		checkWants(t, fset, files, diags)
+	fset, files, diags := analyze(t, testdata, a, pkgPaths)
+	checkWants(t, fset, files, diags)
 
-		fixed, err := v2plint.ApplyFixes(fset, diags)
-		if err != nil {
-			t.Errorf("analysistest: applying fixes in %s: %v", path, err)
+	fixed, err := v2plint.ApplyFixes(fset, diags)
+	if err != nil {
+		t.Errorf("analysistest: applying fixes: %v", err)
+		return
+	}
+	for file, got := range fixed {
+		golden := file + ".golden"
+		want, err := os.ReadFile(golden)
+		if err == nil && string(got) == string(want) {
 			continue
 		}
-		for file, got := range fixed {
-			golden := file + ".golden"
-			want, err := os.ReadFile(golden)
-			if err == nil && string(got) == string(want) {
-				continue
+		// V2PLINT_UPDATE_GOLDENS=1 regenerates goldens from the
+		// current fix output instead of failing (review the diff).
+		if os.Getenv("V2PLINT_UPDATE_GOLDENS") != "" {
+			if werr := os.WriteFile(golden, got, 0o644); werr != nil {
+				t.Errorf("analysistest: updating %s: %v", golden, werr)
 			}
-			// V2PLINT_UPDATE_GOLDENS=1 regenerates goldens from the
-			// current fix output instead of failing (review the diff).
-			if os.Getenv("V2PLINT_UPDATE_GOLDENS") != "" {
-				if werr := os.WriteFile(golden, got, 0o644); werr != nil {
-					t.Errorf("analysistest: updating %s: %v", golden, werr)
-				}
-				continue
-			}
-			if err != nil {
-				t.Errorf("analysistest: fixes rewrote %s but reading its golden failed: %v\n-- fixed output --\n%s", file, err, got)
-				continue
-			}
-			t.Errorf("analysistest: fixed %s does not match %s\n-- got --\n%s-- want --\n%s", file, golden, got, want)
+			continue
 		}
-		// Stray goldens: every golden in the package dir must belong to
-		// a file the fixes actually rewrote.
+		if err != nil {
+			t.Errorf("analysistest: fixes rewrote %s but reading its golden failed: %v\n-- fixed output --\n%s", file, err, got)
+			continue
+		}
+		t.Errorf("analysistest: fixed %s does not match %s\n-- got --\n%s-- want --\n%s", file, golden, got, want)
+	}
+	// Stray goldens: every golden in the analyzed package dirs must
+	// belong to a file the fixes actually rewrote.
+	for _, path := range pkgPaths {
 		dir := filepath.Join(testdata, "src", path)
 		entries, err := os.ReadDir(dir)
 		if err != nil {

@@ -13,9 +13,12 @@ import (
 
 // ApplyFixes applies every suggested fix attached to diags and returns
 // the rewritten contents keyed by file path. Diagnostics without fixes
-// are ignored. Edits within one file must not overlap; zero-length
-// edits (pure insertions) at the same offset are also rejected, since
-// their relative order would be ambiguous.
+// are ignored. Edits within one file must not overlap: adjacent edits
+// (one ending exactly where the next starts) are fine, and a zero-length
+// edit (pure insertion) may share its offset with the start of a
+// replacement — the insertion applies first. Two insertions at the same
+// offset are rejected, since their relative order would be ambiguous,
+// as are two replacements starting at the same offset.
 func ApplyFixes(fset *token.FileSet, diags []Diagnostic) (map[string][]byte, error) {
 	type edit struct {
 		start, end int
@@ -52,11 +55,21 @@ func ApplyFixes(fset *token.FileSet, diags []Diagnostic) (map[string][]byte, err
 		if err != nil {
 			return nil, fmt.Errorf("v2plint: applying fixes: %w", err)
 		}
-		sort.SliceStable(edits, func(i, j int) bool { return edits[i].start < edits[j].start })
+		sort.SliceStable(edits, func(i, j int) bool {
+			if edits[i].start != edits[j].start {
+				return edits[i].start < edits[j].start
+			}
+			// A pure insertion sorts before a replacement starting at
+			// the same offset, so the inserted text lands ahead of the
+			// replaced range.
+			return edits[i].end == edits[i].start && edits[j].end != edits[j].start
+		})
 		var buf []byte
 		prev := 0
 		for i, e := range edits {
-			if e.start < prev || (i > 0 && e.start == edits[i-1].start) {
+			sameStartSameKind := i > 0 && e.start == edits[i-1].start &&
+				(e.end == e.start) == (edits[i-1].end == edits[i-1].start)
+			if e.start < prev || sameStartSameKind {
 				return nil, fmt.Errorf("v2plint: overlapping fixes in %s at offset %d", file, e.start)
 			}
 			if e.end > len(src) {

@@ -54,6 +54,69 @@ func TestApplyFixesInsertReplaceDelete(t *testing.T) {
 	}
 }
 
+func TestApplyFixesAdjacentSameLineEdits(t *testing.T) {
+	// Two replacements on one line, the second starting exactly where
+	// the first ends, must both apply: adjacency is not overlap.
+	const src = "alpha beta gamma\n"
+	fset, tf := fixFile(t, src)
+	at := func(off int) token.Pos { return tf.Pos(off) }
+	diags := []Diagnostic{
+		diagWithEdits("a", TextEdit{Pos: at(6), End: at(10), NewText: []byte("BETA")}),
+		diagWithEdits("b", TextEdit{Pos: at(10), End: at(16), NewText: []byte("/GAMMA")}),
+	}
+	fixed, err := ApplyFixes(fset, diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, got := range fixed {
+		if want := "alpha BETA/GAMMA\n"; string(got) != want {
+			t.Fatalf("fixed = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestApplyFixesInsertionAtReplacementStart(t *testing.T) {
+	// A pure insertion (empty range) at the offset where a replacement
+	// begins is unambiguous — the insertion applies first — and must be
+	// accepted in either input order.
+	const src = "alpha beta gamma\n"
+	fset, tf := fixFile(t, src)
+	at := func(off int) token.Pos { return tf.Pos(off) }
+	const want = "alpha >>BETA gamma\n"
+	for name, diags := range map[string][]Diagnostic{
+		"insertion first": {
+			diagWithEdits("a", TextEdit{Pos: at(6), NewText: []byte(">>")}),
+			diagWithEdits("b", TextEdit{Pos: at(6), End: at(10), NewText: []byte("BETA")}),
+		},
+		"replacement first": {
+			diagWithEdits("b", TextEdit{Pos: at(6), End: at(10), NewText: []byte("BETA")}),
+			diagWithEdits("a", TextEdit{Pos: at(6), NewText: []byte(">>")}),
+		},
+	} {
+		fixed, err := ApplyFixes(fset, diags)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, got := range fixed {
+			if string(got) != want {
+				t.Fatalf("%s: fixed = %q, want %q", name, got, want)
+			}
+		}
+	}
+}
+
+func TestApplyFixesRejectsSameStartReplacements(t *testing.T) {
+	const src = "alpha beta gamma\n"
+	fset, tf := fixFile(t, src)
+	diags := []Diagnostic{
+		diagWithEdits("a", TextEdit{Pos: tf.Pos(6), End: tf.Pos(10), NewText: []byte("x")}),
+		diagWithEdits("b", TextEdit{Pos: tf.Pos(6), End: tf.Pos(8), NewText: []byte("y")}),
+	}
+	if _, err := ApplyFixes(fset, diags); err == nil || !strings.Contains(err.Error(), "overlapping") {
+		t.Fatalf("same-start replacements: err = %v, want overlap error", err)
+	}
+}
+
 func TestApplyFixesRejectsOverlap(t *testing.T) {
 	const src = "alpha beta gamma\n"
 	fset, tf := fixFile(t, src)
@@ -89,13 +152,14 @@ func TestApplyFixesIgnoresFixlessDiagnostics(t *testing.T) {
 	}
 }
 
-func TestSuiteShipsNineAnalyzers(t *testing.T) {
-	// The CI contract ("all nine analyzers, build-failing") and the
+func TestSuiteShipsTwelveAnalyzers(t *testing.T) {
+	// The CI contract ("all twelve analyzers, build-failing") and the
 	// package doc both promise this exact suite; a rename or removal
 	// must be a conscious change here too.
 	want := []string{
 		"detrange", "wallclock", "globalrand", "simtimeunits",
 		"hotpathalloc", "faultgate", "schemecomplete", "nilsafemetrics",
+		"hotpathreach", "workersafe", "planpure",
 		"allowreason",
 	}
 	got := Analyzers()

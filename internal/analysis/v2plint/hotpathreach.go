@@ -1,0 +1,73 @@
+package v2plint
+
+// HotPathReach extends the allocation-free hot-path contract across
+// calls. hotpathalloc inspects only the bodies of annotated functions,
+// so a hot-path function calling an unannotated helper that allocates
+// (or reads the wall clock, or draws from global math/rand) passed the
+// suite silently. This analyzer walks the Program call graph from every
+// hot-path root and reports the witness chain, e.g.
+//
+//	ecmpForward → simnet.helperX → fmt.Sprintf
+//
+// Division of labor: constructs directly inside a root body are
+// hotpathalloc's findings (richer per-construct rules); hotpathreach
+// reports only effects at least one call away, plus dynamic calls
+// through func values in the root itself (the chain cannot be followed
+// through those, so they must be explicitly waived or redesigned).
+// Edges into functions that are themselves hot-path roots are skipped:
+// those are checked in their own right (assume/guarantee), which keeps
+// one defect one finding.
+
+import "go/token"
+
+var HotPathReach = &Analyzer{
+	Name: "hotpathreach",
+	Doc: "requires the transitive call closure of //v2plint:hotpath roots " +
+		"(and the known serializer/ECMP/eventq entry points) to be free of " +
+		"heap allocation, fmt, wall-clock reads, and global math/rand; " +
+		"reports the witness call chain and flags dynamic calls through " +
+		"func values as statically unresolvable",
+	Run: runHotPathReach,
+}
+
+// hotReachClasses are the effect classes the hot-path contract forbids,
+// in reporting order.
+var hotReachClasses = []effectClass{effAlloc, effFmt, effWallClock, effGlobalRand, effDynamic}
+
+func runHotPathReach(pass *Pass) {
+	for _, n := range pass.nodes {
+		if !n.hotRoot || n.decl == nil {
+			continue
+		}
+		root := funcKey(n.decl)
+		// Dynamic calls in the root body: the graph stops here, so the
+		// contract requires them waived (with a reason) or removed.
+		for _, site := range n.direct[effDynamic] {
+			pass.Reportf(site.pos,
+				"hot-path function %s makes a %s; the hot path must be statically resolvable (direct, method, or interface call)",
+				root, site.Detail)
+		}
+		type reported struct {
+			pos   token.Pos
+			class effectClass
+		}
+		seen := map[reported]bool{}
+		for _, cs := range n.calls {
+			for _, tgt := range cs.targets {
+				callee := pass.Prog.node(tgt.key)
+				if callee == nil || callee.hotRoot {
+					continue
+				}
+				for _, c := range hotReachClasses {
+					te := callee.trans[c]
+					if te == nil || seen[reported{cs.pos, c}] {
+						continue
+					}
+					seen[reported{cs.pos, c}] = true
+					pass.Reportf(cs.pos, "hot-path function %s reaches %s: %s",
+						root, effectNoun[c], chainString(root, tgt, te))
+				}
+			}
+		}
+	}
+}

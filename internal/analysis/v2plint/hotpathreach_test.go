@@ -1,0 +1,18 @@
+package v2plint_test
+
+import (
+	"testing"
+
+	"switchv2p/internal/analysis/v2plint"
+	"switchv2p/internal/analysis/v2plint/analysistest"
+)
+
+func TestHotPathReach(t *testing.T) {
+	// "hotpathreach/helper" is listed first so the cross-package edge
+	// (root → mid → helper.Grow) resolves against the same type-checked
+	// instance — the harness's dependency-first rule. The main package
+	// covers one-hop, two-hop/cross-package, interface-resolved, and
+	// dynamic findings plus the assume/guarantee and waiver negatives.
+	analysistest.Run(t, analysistest.TestData(t), v2plint.HotPathReach,
+		"hotpathreach/helper", "hotpathreach")
+}

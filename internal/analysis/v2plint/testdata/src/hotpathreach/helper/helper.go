@@ -1,0 +1,9 @@
+// Package helper is the cross-package leg of the hotpathreach goldens:
+// an allocating function reached from a hot root two hops and one
+// package boundary away.
+package helper
+
+// Grow allocates; silent here, reported at the hot root that reaches it.
+func Grow(n int) []byte {
+	return make([]byte, n)
+}

@@ -1,0 +1,9 @@
+package hotpathreach
+
+// Test files sit outside the call graph: even an annotated root here is
+// exempt from the contract.
+
+//v2plint:hotpath
+func testOnlyRoot(id int) string {
+	return format(id)
+}

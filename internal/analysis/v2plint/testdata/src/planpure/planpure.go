@@ -1,0 +1,81 @@
+// Package planpure seeds planner-purity violations: annotated planner
+// roots reading the wall clock, global math/rand, and telemetry state,
+// directly and through helpers.
+package planpure
+
+import (
+	"math/rand"
+	"time"
+
+	"planpure/telemetry"
+)
+
+type world struct {
+	Seed  int64
+	Depth *telemetry.Gauge
+}
+
+// hedge reads the wall clock one hop from the roots.
+func hedge() int64 {
+	return time.Now().UnixNano()
+}
+
+// jitter draws from the global generator one hop from the roots.
+func jitter() int {
+	return rand.Intn(8)
+}
+
+//v2plint:planpure
+func planDirect(w *world) int64 {
+	t := time.Now().UnixNano() // want `planner function planDirect reads the wall clock \(time\.Now\); planning must be a pure function of \(spec, seed\)`
+	d := w.Depth.Cur           // want `planner function planDirect reads mutable run state \(read of telemetry\.Gauge\.Cur\); planning must be a pure function of \(spec, seed\)`
+	return t + d
+}
+
+//v2plint:planpure
+func planViaMethod(w *world) int64 {
+	return w.Depth.Value() // want `planner function planViaMethod reads mutable run state \(call to telemetry\.Gauge\.Value\); planning must be a pure function of \(spec, seed\)`
+}
+
+//v2plint:planpure
+func planTransitive(w *world) int64 {
+	h := hedge()  // want `planner function planTransitive reaches a wall-clock read: planTransitive → planpure\.hedge → time\.Now; planning must be a pure function of \(spec, seed\)`
+	j := jitter() // want `planner function planTransitive reaches the global math/rand generator: planTransitive → planpure\.jitter → rand\.Intn; planning must be a pure function of \(spec, seed\)`
+	return h + int64(j)
+}
+
+// planSeeded is the sanctioned pattern: a generator seeded from the
+// spec. Constructors and *rand.Rand methods are not global-rand use.
+//
+//v2plint:planpure
+func planSeeded(w *world) int {
+	rng := rand.New(rand.NewSource(w.Seed))
+	return rng.Intn(32)
+}
+
+type agent struct{ n int }
+
+func (a *agent) AddFlow(int) { a.n++ }
+
+// planMaterialize may mutate the world it is building — registering
+// flows is the plan's product, not a read of run state.
+//
+//v2plint:planpure
+func planMaterialize(a *agent) {
+	for i := 0; i < 4; i++ {
+		a.AddFlow(i)
+	}
+}
+
+// planWaived shows a reason-carrying waiver on a reaching call.
+//
+//v2plint:planpure
+func planWaived() int64 {
+	//v2plint:allow planpure startup banner timestamp, not used in any plan decision
+	return hedge()
+}
+
+// build is NOT a planner root: the same reads are fine elsewhere.
+func build(w *world) int64 {
+	return w.Depth.Value() + hedge()
+}

@@ -1,0 +1,16 @@
+// Package scenario proves planpure's known planner entry points are
+// checked even without a //v2plint:planpure annotation (deleting an
+// annotation cannot un-enforce the contract).
+package scenario
+
+import "time"
+
+// planFaults is in the known planner set despite carrying no annotation.
+func planFaults() int64 {
+	return time.Now().UnixNano() // want `planner function planFaults reads the wall clock \(time\.Now\); planning must be a pure function of \(spec, seed\)`
+}
+
+// helper is not a known root and not annotated: silent.
+func helper() int64 {
+	return time.Now().UnixNano()
+}

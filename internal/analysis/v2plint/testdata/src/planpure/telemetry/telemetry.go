@@ -1,0 +1,12 @@
+// Package telemetry stubs the repo's telemetry types for the planpure
+// goldens: reading these (fields or methods) from a planner is a
+// finding.
+package telemetry
+
+type Gauge struct {
+	Cur int64
+}
+
+func (g *Gauge) Value() int64 { return g.Cur }
+
+func (g *Gauge) Set(v int64) { g.Cur = v }

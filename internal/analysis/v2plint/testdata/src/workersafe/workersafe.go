@@ -1,0 +1,165 @@
+// Package workersafe seeds shard-safety violations: worker goroutines
+// touching captured and package-level variables with and without the
+// sanctioned synchronization disciplines.
+package workersafe
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// fanOutUnprotected writes captured slots and a shared accumulator with
+// no synchronization at all.
+func fanOutUnprotected(n int) ([]int, int) {
+	out := make([]int, n)
+	total := 0
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i] = i * i // want `worker goroutine writes shared variable out without synchronization`
+			total += i     // want `worker goroutine writes shared variable total without synchronization`
+		}(i)
+	}
+	wg.Wait()
+	return out, total
+}
+
+// progressRead: a read of a variable some worker writes is as racy as
+// the write; a read of a never-written capture (n) is fine.
+func progressRead(n int) int {
+	done := 0
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			done++         // want `worker goroutine writes shared variable done without synchronization`
+			if done == n { // want `worker goroutine reads shared variable done without synchronization`
+				return
+			}
+		}()
+	}
+	wg.Wait()
+	return done
+}
+
+// fanOutProtected covers the sanctioned disciplines: a structurally
+// held mutex, defer-unlock, an atomic call on a captured address, and
+// channel hand-off. No findings.
+func fanOutProtected(n int) (int, int64) {
+	var mu sync.Mutex
+	sum := 0
+	var hits int64
+	results := make(chan int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			mu.Lock()
+			sum += i
+			mu.Unlock()
+			atomic.AddInt64(&hits, 1)
+			results <- i
+		}(i)
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+	t := 0
+	for r := range results {
+		t += r
+	}
+	return sum + t, hits
+}
+
+// deferUnlock keeps the lock held to the end of the goroutine.
+func deferUnlock(n int) int {
+	var mu sync.Mutex
+	sum := 0
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			mu.Lock()
+			defer mu.Unlock()
+			sum += i
+		}(i)
+	}
+	wg.Wait()
+	return sum
+}
+
+// syncTyped: variables whose type is itself a sync primitive are the
+// synchronization; method calls on them are fine.
+func syncTyped(n int) int64 {
+	var count atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			count.Add(1)
+		}()
+	}
+	wg.Wait()
+	return count.Load()
+}
+
+// fanOutWorkerLocal uses the disjoint-index pattern the analyzer cannot
+// prove; the reason-carrying annotation records why it is safe.
+func fanOutWorkerLocal(n int) []int {
+	out := make([]int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			//v2plint:workerlocal each goroutine writes only the slot for its own index i
+			out[i] = i * i
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+
+// bareAnnotation: a workerlocal with no reason is itself a finding and
+// waives nothing.
+func bareAnnotation(n int) int {
+	x := 0
+	ch := make(chan struct{})
+	go func() {
+		defer close(ch)
+		//v2plint:workerlocal
+		// want-above `//v2plint:workerlocal needs a reason`
+		x = n // want `worker goroutine writes shared variable x without synchronization`
+	}()
+	<-ch
+	return x
+}
+
+// pkgCounter: package-level state is shared state too.
+var pkgCounter int
+
+func pkgLevelWrite() {
+	ch := make(chan struct{})
+	go func() {
+		pkgCounter++ // want `worker goroutine writes shared variable pkgCounter without synchronization`
+		close(ch)
+	}()
+	<-ch
+}
+
+// namedSpawn: goroutines spawned as `go namedFunc()` are outside the
+// contract (documented limit) — the body is not local to the spawn.
+var helperState int
+
+func helperWorker() { helperState++ }
+
+func namedSpawn() {
+	go helperWorker()
+}

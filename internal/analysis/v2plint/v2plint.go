@@ -10,7 +10,10 @@
 // a CacheFlusher obligation on every scheme, nil-safe telemetry
 // handles); those are machine-checked here too.
 //
-// The suite ships nine analyzers:
+// The suite ships twelve analyzers — nine intraprocedural, plus three
+// interprocedural ones built on a per-Program call graph (see
+// callgraph.go) that resolves static calls, concrete method calls, and
+// interface calls via the implements-relation:
 //
 //   - detrange: flags `range` over a map whose body feeds an
 //     ordering-sensitive sink (append, float accumulation, event
@@ -39,6 +42,21 @@
 //   - nilsafemetrics: requires every exported pointer-receiver method
 //     on telemetry types (and //v2plint:nilsafe-annotated types) to
 //     begin with a nil-receiver guard.
+//   - hotpathreach: extends the hot-path contract transitively — the
+//     call closure of every //v2plint:hotpath root (and the known entry
+//     points) must be free of heap allocation, fmt, wall-clock reads,
+//     and global math/rand; diagnostics carry the witness call chain
+//     (ecmpForward → helperX → fmt.Sprintf). Dynamic calls through func
+//     values are flagged as statically unresolvable.
+//   - workersafe: the shard-safety contract — every package-level or
+//     captured variable a `go func` worker goroutine touches must be
+//     read-only, a sync/sync-atomic type, protected by a held lock or
+//     atomic call, a channel hand-off, or carry a
+//     //v2plint:workerlocal <reason> annotation.
+//   - planpure: functions reachable from the scenario planner entry
+//     points must stay pure functions of (spec, seed): no wall-clock
+//     reads, no global rand, no reads of telemetry state or
+//     simnet.Counters, directly or transitively.
 //   - allowreason: requires every //v2plint:allow waiver to carry a
 //     justification after the analyzer list.
 //
@@ -63,7 +81,6 @@ import (
 	"go/token"
 	"go/types"
 	"path"
-	"sort"
 	"strings"
 )
 
@@ -80,14 +97,19 @@ type Analyzer struct {
 }
 
 // A Pass provides one analyzer with the parsed and type-checked
-// representation of a single package.
+// representation of a single package, plus the whole-Program call
+// graph for the interprocedural analyzers.
 type Pass struct {
 	Analyzer  *Analyzer
 	Fset      *token.FileSet
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+	// Prog is the Program the pass runs under; its resolved call graph
+	// backs the interprocedural analyzers (hotpathreach, planpure).
+	Prog *Program
 
+	nodes  []*funcNode // this package's graph nodes, declaration order
 	report func(Diagnostic)
 }
 
@@ -137,11 +159,14 @@ type TextEdit struct {
 	NewText []byte
 }
 
-// Analyzers returns the full v2plint suite in stable order.
+// Analyzers returns the full v2plint suite in stable order. The three
+// interprocedural analyzers (hotpathreach, workersafe, planpure) come
+// after the intraprocedural ones; allowreason stays last.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		DetRange, WallClock, GlobalRand, SimTimeUnits,
 		HotPathAlloc, FaultGate, SchemeComplete, NilSafeMetrics,
+		HotPathReach, WorkerSafe, PlanPure,
 		AllowReason,
 	}
 }
@@ -160,40 +185,16 @@ func ByName(name string) *Analyzer {
 // returns the findings that are not waived by //v2plint:allow
 // annotations, sorted by position. Findings from the allowreason
 // analyzer are exempt from waiving: a waiver cannot excuse itself.
+//
+// RunPackage is the single-package convenience wrapper around Program;
+// interprocedural analyzers see only this package's declarations (plus
+// whatever summaries a vet driver imported), so interface calls whose
+// implementations live elsewhere degrade to "no known implementations".
+// Multi-package callers should build a Program directly.
 func RunPackage(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) []Diagnostic {
-	allows := collectAllows(fset, files)
-	var diags []Diagnostic
-	for _, a := range analyzers {
-		pass := &Pass{
-			Analyzer:  a,
-			Fset:      fset,
-			Files:     files,
-			Pkg:       pkg,
-			TypesInfo: info,
-			report:    func(d Diagnostic) { diags = append(diags, d) },
-		}
-		a.Run(pass)
-	}
-	kept := diags[:0]
-	for _, d := range diags {
-		if d.Analyzer == AllowReason.Name || !allows.waives(fset.Position(d.Pos), d.Analyzer) {
-			kept = append(kept, d)
-		}
-	}
-	sort.Slice(kept, func(i, j int) bool {
-		pi, pj := fset.Position(kept[i].Pos), fset.Position(kept[j].Pos)
-		if pi.Filename != pj.Filename {
-			return pi.Filename < pj.Filename
-		}
-		if pi.Line != pj.Line {
-			return pi.Line < pj.Line
-		}
-		if pi.Column != pj.Column {
-			return pi.Column < pj.Column
-		}
-		return kept[i].Analyzer < kept[j].Analyzer
-	})
-	return kept
+	prog := NewProgram(fset)
+	prog.Add(files, pkg, info)
+	return prog.Run(analyzers)
 }
 
 // allowSet records //v2plint:allow annotations: file -> line -> waived

@@ -6,6 +6,7 @@ import (
 	"go/token"
 	"io"
 	"os"
+	"sort"
 )
 
 // This file implements the `go vet -vettool=` unit-checker protocol,
@@ -13,8 +14,16 @@ import (
 // standalone. For each package, cmd/go hands the tool a JSON config
 // file naming the source files and the export-data file of every
 // dependency; the tool type-checks the single package, reports
-// findings on stderr, and writes an (empty — v2plint exchanges no
-// facts) .vetx file for downstream packages.
+// findings on stderr, and writes a .vetx fact file for downstream
+// packages.
+//
+// The facts are the call graph's transitive function summaries
+// (ExportSummaries): when a dependency was vetted first, its .vetx is
+// imported before analysis, so hotpathreach sees through cross-package
+// calls even though each vet invocation type-checks a single package.
+// Interface resolution still degrades to same-package implementations
+// in this mode (a documented soundness limit); the standalone driver,
+// which loads the whole module into one Program, does not degrade.
 
 // vetConfig mirrors the JSON config cmd/go writes for vet tools (see
 // cmd/go/internal/work.vetConfig).
@@ -51,16 +60,10 @@ func RunVetTool(cfgPath string, stderr io.Writer) int {
 		return 1
 	}
 
-	// v2plint analyzers exchange no facts, but cmd/go caches and feeds
-	// the vetx file to dependent packages, so it must always exist.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
-			fmt.Fprintf(stderr, "v2plint: writing vetx: %v\n", err)
-			return 1
-		}
-	}
-	if cfg.VetxOnly {
-		return 0
+	// Standard-library packages are classified by the direct call rules
+	// (fmt, time, math/rand) instead of analysis: their vetx is empty.
+	if cfg.Standard[cfg.ImportPath] {
+		return writeVetx(cfg.VetxOutput, []byte{}, stderr)
 	}
 
 	fset := token.NewFileSet()
@@ -73,18 +76,65 @@ func RunVetTool(cfgPath string, stderr io.Writer) int {
 	lp, err := checkPackage(fset, imp, cfg.ImportPath, cfg.Dir, cfg.GoFiles)
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
-			return 0
+			return writeVetx(cfg.VetxOutput, []byte{}, stderr)
 		}
 		fmt.Fprintf(stderr, "v2plint: %v\n", err)
 		return 1
 	}
 
-	diags := RunPackage(lp.Fset, lp.Files, lp.Pkg, lp.Info, Analyzers())
+	prog := NewProgram(lp.Fset)
+	// Import dependency summaries before adding the local package:
+	// local declarations override an imported node with the same key.
+	paths := make([]string, 0, len(cfg.PackageVetx))
+	for path := range cfg.PackageVetx {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		facts, err := os.ReadFile(cfg.PackageVetx[path])
+		if err != nil || len(facts) == 0 {
+			continue // absent or empty facts degrade gracefully
+		}
+		if err := prog.ImportSummaries(facts); err != nil {
+			fmt.Fprintf(stderr, "v2plint: %s: %v\n", path, err)
+			return 1
+		}
+	}
+	prog.Add(lp.Files, lp.Pkg, lp.Info)
+
+	if cfg.VetxOutput != "" {
+		facts, err := prog.ExportSummaries(cfg.ImportPath)
+		if err != nil {
+			fmt.Fprintf(stderr, "v2plint: exporting facts: %v\n", err)
+			return 1
+		}
+		if code := writeVetx(cfg.VetxOutput, facts, stderr); code != 0 {
+			return code
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	diags := prog.Run(Analyzers())
 	for _, d := range diags {
 		fmt.Fprintf(stderr, "%s: %s: %s\n", lp.Fset.Position(d.Pos), d.Analyzer, d.Message)
 	}
 	if len(diags) > 0 {
 		return 2
+	}
+	return 0
+}
+
+// writeVetx writes the fact file cmd/go caches and feeds to dependent
+// packages; it must always exist, even when empty.
+func writeVetx(path string, data []byte, stderr io.Writer) int {
+	if path == "" {
+		return 0
+	}
+	if err := os.WriteFile(path, data, 0o666); err != nil {
+		fmt.Fprintf(stderr, "v2plint: writing vetx: %v\n", err)
+		return 1
 	}
 	return 0
 }

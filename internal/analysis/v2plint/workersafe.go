@@ -1,0 +1,496 @@
+package v2plint
+
+// WorkerSafe is the shard-safety contract (ROADMAP item 1 asks for it
+// *before* the engine is parallelized, so the sharded engine is born
+// lint-clean). It inspects every worker goroutine spawned as
+// `go func(...) {...}(...)` and computes the package-level and captured
+// variables the goroutine reads and writes. Every write to such a
+// shared variable, and every read of one that some worker goroutine in
+// the same function writes, must be one of:
+//
+//   - an access to a sync / sync/atomic-typed variable (the primitive
+//     itself is the synchronization),
+//   - a channel operation (send, receive, range, close) — hand-off by
+//     design,
+//   - made while a sync.Mutex/RWMutex lock is structurally held
+//     (Lock()...Unlock() in the same block, or defer Unlock()),
+//   - the address argument of a sync/atomic call,
+//   - or annotated `//v2plint:workerlocal <reason>` on the access line
+//     or the line directly above, asserting disjointness the analyzer
+//     cannot see (e.g. index-disjoint writes to a shared slice). The
+//     reason is mandatory: a bare workerlocal is itself a finding.
+//
+// Read-only captures (config, inputs, the spawn-loop index) are always
+// fine. Known limits, documented in DESIGN.md §8: goroutines spawned as
+// `go namedFunc(...)` are not analyzed (the body is not local to the
+// spawn site); mutation through captured pointers'/receivers' methods
+// is not modeled (only direct writes, &-escapes, and atomics); writes
+// the spawning function itself performs after the spawn are not
+// tracked. The race detector remains the dynamic backstop — this
+// analyzer makes the *intended* discipline reviewable and enforced at
+// lint time.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path"
+	"strings"
+)
+
+var WorkerSafe = &Analyzer{
+	Name: "workersafe",
+	Doc: "requires every package-level or captured variable a `go func` " +
+		"worker goroutine writes (or reads while another worker access " +
+		"writes it) to be protected by a sync primitive, an atomic, a held " +
+		"lock, a channel hand-off, or a //v2plint:workerlocal <reason> " +
+		"annotation (the shard-safety contract)",
+	Run: runWorkerSafe,
+}
+
+// A wsAccess is one occurrence of a shared-variable access inside a
+// worker goroutine.
+type wsAccess struct {
+	pos       token.Pos
+	obj       *types.Var
+	write     bool
+	protected bool // under a held lock, atomic-call argument, or channel op
+}
+
+func runWorkerSafe(pass *Pass) {
+	locals := collectWorkerLocals(pass)
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkWorkerFunc(pass, fn, locals)
+		}
+	}
+}
+
+func checkWorkerFunc(pass *Pass, fn *ast.FuncDecl, locals workerLocalSet) {
+	var lits []*ast.FuncLit
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if g, ok := n.(*ast.GoStmt); ok {
+			if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+				lits = append(lits, lit)
+			}
+		}
+		return true
+	})
+	if len(lits) == 0 {
+		return
+	}
+	var accesses []wsAccess
+	for _, lit := range lits {
+		s := &wsScan{pass: pass, lit: lit, out: &accesses}
+		s.stmts(lit.Body.List, 0)
+	}
+	// A variable any worker goroutine writes is shared-mutable: every
+	// unprotected access to it (including reads) needs justification.
+	written := map[*types.Var]bool{}
+	for i := range accesses {
+		if accesses[i].write {
+			written[accesses[i].obj] = true
+		}
+	}
+	type site struct {
+		obj  *types.Var
+		line int
+	}
+	seen := map[site]bool{}
+	for i := range accesses {
+		a := &accesses[i]
+		if a.protected || syncSafeType(a.obj.Type()) {
+			continue
+		}
+		if !a.write && !written[a.obj] {
+			continue
+		}
+		pos := pass.Fset.Position(a.pos)
+		if locals.waives(pos) {
+			continue
+		}
+		if seen[site{a.obj, pos.Line}] {
+			continue
+		}
+		seen[site{a.obj, pos.Line}] = true
+		verb := "writes"
+		if !a.write {
+			verb = "reads"
+		}
+		pass.Reportf(a.pos,
+			"worker goroutine %s shared variable %s without synchronization; use a sync primitive, a channel hand-off, or annotate //v2plint:workerlocal <reason>",
+			verb, a.obj.Name())
+	}
+}
+
+// wsScan walks one worker goroutine body recording shared-variable
+// accesses with structural lock tracking: Lock()/RLock() as a statement
+// raises the held count for the rest of the block, Unlock()/RUnlock()
+// lowers it, defer Unlock() keeps it raised to the end.
+type wsScan struct {
+	pass *Pass
+	lit  *ast.FuncLit
+	out  *[]wsAccess
+}
+
+func (s *wsScan) stmts(list []ast.Stmt, held int) {
+	for _, st := range list {
+		held = s.stmt(st, held)
+	}
+}
+
+// stmt scans one statement and returns the held count for the
+// statements that follow it in the same block.
+func (s *wsScan) stmt(st ast.Stmt, held int) int {
+	switch st := st.(type) {
+	case *ast.ExprStmt:
+		if call, ok := st.X.(*ast.CallExpr); ok {
+			if d := lockDelta(s.pass.TypesInfo, call); d != 0 {
+				s.expr(call.Fun, held, false) // the mutex itself: read access, its type exempts it
+				if held += d; held < 0 {
+					held = 0
+				}
+				return held
+			}
+		}
+		s.expr(st.X, held, false)
+	case *ast.DeferStmt:
+		if lockDelta(s.pass.TypesInfo, st.Call) < 0 {
+			return held // defer mu.Unlock(): lock stays held to the end
+		}
+		s.expr(st.Call, held, false)
+	case *ast.GoStmt:
+		// A nested `go func` literal is analyzed as its own worker;
+		// only scan the spawn arguments here.
+		if _, ok := st.Call.Fun.(*ast.FuncLit); !ok {
+			s.expr(st.Call.Fun, held, false)
+		}
+		for _, a := range st.Call.Args {
+			s.expr(a, held, false)
+		}
+	case *ast.AssignStmt:
+		for _, rhs := range st.Rhs {
+			s.expr(rhs, held, false)
+		}
+		for _, lhs := range st.Lhs {
+			s.expr(lhs, held, true)
+		}
+	case *ast.IncDecStmt:
+		s.expr(st.X, held, true)
+	case *ast.SendStmt:
+		s.chanOp(st.Chan, held)
+		s.expr(st.Value, held, false)
+	case *ast.IfStmt:
+		if st.Init != nil {
+			held = s.stmt(st.Init, held)
+		}
+		s.expr(st.Cond, held, false)
+		s.stmts(st.Body.List, held)
+		if st.Else != nil {
+			s.stmt(st.Else, held)
+		}
+	case *ast.ForStmt:
+		if st.Init != nil {
+			held = s.stmt(st.Init, held)
+		}
+		if st.Cond != nil {
+			s.expr(st.Cond, held, false)
+		}
+		if st.Post != nil {
+			s.stmt(st.Post, held)
+		}
+		s.stmts(st.Body.List, held)
+	case *ast.RangeStmt:
+		if t := s.pass.TypesInfo.TypeOf(st.X); t != nil {
+			if _, isChan := t.Underlying().(*types.Chan); isChan {
+				s.chanOp(st.X, held)
+			} else {
+				s.expr(st.X, held, false)
+			}
+		} else {
+			s.expr(st.X, held, false)
+		}
+		if st.Key != nil {
+			s.expr(st.Key, held, true)
+		}
+		if st.Value != nil {
+			s.expr(st.Value, held, true)
+		}
+		s.stmts(st.Body.List, held)
+	case *ast.BlockStmt:
+		s.stmts(st.List, held)
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			held = s.stmt(st.Init, held)
+		}
+		if st.Tag != nil {
+			s.expr(st.Tag, held, false)
+		}
+		for _, c := range st.Body.List {
+			cc := c.(*ast.CaseClause)
+			for _, e := range cc.List {
+				s.expr(e, held, false)
+			}
+			s.stmts(cc.Body, held)
+		}
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			held = s.stmt(st.Init, held)
+		}
+		s.stmt(st.Assign, held)
+		for _, c := range st.Body.List {
+			cc := c.(*ast.CaseClause)
+			s.stmts(cc.Body, held)
+		}
+	case *ast.SelectStmt:
+		for _, c := range st.Body.List {
+			cc := c.(*ast.CommClause)
+			if cc.Comm != nil {
+				s.stmt(cc.Comm, held)
+			}
+			s.stmts(cc.Body, held)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range st.Results {
+			s.expr(e, held, false)
+		}
+	case *ast.LabeledStmt:
+		return s.stmt(st.Stmt, held)
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						s.expr(v, held, false)
+					}
+				}
+			}
+		}
+	}
+	return held
+}
+
+func (s *wsScan) expr(e ast.Expr, held int, write bool) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		s.record(e, held, write, false)
+	case *ast.ParenExpr:
+		s.expr(e.X, held, write)
+	case *ast.SelectorExpr:
+		// Writing a field writes the variable at the base of the chain;
+		// qualified identifiers (pkg.Name) resolve through the Sel.
+		if id, ok := baseIdent(e); ok {
+			s.record(id, held, write, false)
+		} else {
+			s.expr(e.X, held, write)
+		}
+	case *ast.IndexExpr:
+		s.expr(e.X, held, write)
+		s.expr(e.Index, held, false)
+	case *ast.SliceExpr:
+		s.expr(e.X, held, write)
+	case *ast.StarExpr:
+		// Writing through a captured pointer mutates shared state the
+		// pointer reaches; attribute it to the pointer variable.
+		s.expr(e.X, held, write)
+	case *ast.UnaryExpr:
+		switch e.Op {
+		case token.AND:
+			// &x escaping into an arbitrary call may be written there.
+			s.expr(e.X, held, true)
+		case token.ARROW:
+			s.chanOp(e.X, held)
+		default:
+			s.expr(e.X, held, false)
+		}
+	case *ast.BinaryExpr:
+		s.expr(e.X, held, false)
+		s.expr(e.Y, held, false)
+	case *ast.CallExpr:
+		s.call(e, held)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			s.expr(el, held, false)
+		}
+	case *ast.KeyValueExpr:
+		s.expr(e.Key, held, false)
+		s.expr(e.Value, held, false)
+	case *ast.TypeAssertExpr:
+		s.expr(e.X, held, false)
+	case *ast.FuncLit:
+		// A plain nested closure still runs on this goroutine (or is
+		// handed off); scan it under the current lock state.
+		s.stmts(e.Body.List, held)
+	}
+}
+
+func (s *wsScan) call(call *ast.CallExpr, held int) {
+	info := s.pass.TypesInfo
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if _, pkgPath, ok := pkgFunc(info, sel); ok && pkgPath == "sync/atomic" {
+			for _, a := range call.Args {
+				if u, ok := ast.Unparen(a).(*ast.UnaryExpr); ok && u.Op == token.AND {
+					s.markProtected(u.X, held)
+					continue
+				}
+				s.expr(a, held, false)
+			}
+			return
+		}
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "close" && len(call.Args) == 1 {
+			s.chanOp(call.Args[0], held)
+			return
+		}
+	}
+	s.expr(call.Fun, held, false)
+	for _, a := range call.Args {
+		s.expr(a, held, false)
+	}
+}
+
+// chanOp records the channel operand as a protected access: channels
+// are the sanctioned hand-off.
+func (s *wsScan) chanOp(e ast.Expr, held int) {
+	if id, ok := baseIdent(e); ok {
+		s.record(id, held, false, true)
+	} else {
+		s.expr(e, held, false)
+	}
+}
+
+// markProtected records an atomic-call address argument.
+func (s *wsScan) markProtected(e ast.Expr, held int) {
+	if id, ok := baseIdent(e); ok {
+		s.record(id, held, true, true)
+	} else {
+		s.expr(e, held, false)
+	}
+}
+
+// record logs an access to id when it resolves to a variable declared
+// outside the goroutine literal (captured or package-level).
+func (s *wsScan) record(id *ast.Ident, held int, write, protected bool) {
+	v, ok := s.pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok || v.IsField() || v.Name() == "_" {
+		return
+	}
+	if v.Pos().IsValid() && v.Pos() >= s.lit.Pos() && v.Pos() < s.lit.End() {
+		return // goroutine-local: parameter or body declaration
+	}
+	*s.out = append(*s.out, wsAccess{
+		pos:       id.Pos(),
+		obj:       v,
+		write:     write,
+		protected: protected || held > 0,
+	})
+}
+
+// baseIdent unwraps selector/index/star/paren chains to the variable at
+// the base, e.g. reports[i] → reports, w.Cfg.Seed → w.
+func baseIdent(e ast.Expr) (*ast.Ident, bool) {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x, true
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil, false
+		}
+	}
+}
+
+// lockDelta classifies a call as taking (+1) or releasing (-1) a
+// sync.Mutex/RWMutex-style lock, by method name and receiver package.
+func lockDelta(info *types.Info, call *ast.CallExpr) int {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return 0
+	}
+	name, pkgBase, ok := methodRecvPkgBase(info, sel)
+	if !ok || pkgBase != "sync" {
+		return 0
+	}
+	switch name {
+	case "Lock", "RLock":
+		return 1
+	case "Unlock", "RUnlock":
+		return -1
+	}
+	return 0
+}
+
+// syncSafeType reports whether the variable's type is itself a
+// synchronization primitive (sync or sync/atomic named type, possibly
+// behind a pointer) or a channel.
+func syncSafeType(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok && named.Obj().Pkg() != nil {
+		switch path.Base(named.Obj().Pkg().Path()) {
+		case "sync", "atomic":
+			return true
+		}
+	}
+	_, isChan := t.Underlying().(*types.Chan)
+	return isChan
+}
+
+// --- //v2plint:workerlocal annotations ---
+
+// workerLocalSet records reason-carrying workerlocal annotations:
+// file → line → true.
+type workerLocalSet map[string]map[int]bool
+
+// collectWorkerLocals scans comments for //v2plint:workerlocal
+// annotations, reporting bare ones (no reason) as findings and
+// returning the reasoned ones for waiving.
+func collectWorkerLocals(pass *Pass) workerLocalSet {
+	out := workerLocalSet{}
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if text != "v2plint:workerlocal" && !strings.HasPrefix(text, "v2plint:workerlocal ") {
+					continue
+				}
+				reason := strings.TrimSpace(strings.TrimPrefix(text, "v2plint:workerlocal"))
+				if reason == "" {
+					pass.Reportf(c.Pos(), "//v2plint:workerlocal needs a reason: why is the access safe without synchronization?")
+					continue
+				}
+				pos := pass.Fset.Position(c.Pos())
+				if out[pos.Filename] == nil {
+					out[pos.Filename] = map[int]bool{}
+				}
+				out[pos.Filename][pos.Line] = true
+			}
+		}
+	}
+	return out
+}
+
+// waives reports whether a reasoned workerlocal annotation covers the
+// access position (same line or the line directly above).
+func (s workerLocalSet) waives(pos token.Position) bool {
+	lines := s[pos.Filename]
+	return lines != nil && (lines[pos.Line] || lines[pos.Line-1])
+}

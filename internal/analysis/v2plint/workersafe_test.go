@@ -1,0 +1,17 @@
+package v2plint_test
+
+import (
+	"testing"
+
+	"switchv2p/internal/analysis/v2plint"
+	"switchv2p/internal/analysis/v2plint/analysistest"
+)
+
+func TestWorkerSafe(t *testing.T) {
+	// Covers unprotected writes and reads, every sanctioned discipline
+	// (mutex, defer-unlock, atomics, sync-typed variables, channels),
+	// the workerlocal waiver, the bare-workerlocal finding, and the
+	// named-spawn limit.
+	analysistest.Run(t, analysistest.TestData(t), v2plint.WorkerSafe,
+		"workersafe")
+}

@@ -423,6 +423,7 @@ func (e *Engine) switchArrive(sw int32, from topology.NodeRef, p *packet.Packet)
 	e.C.SwitchPackets[sw]++
 	e.C.SwitchBytes[sw] += int64(p.Size())
 	if e.Tap != nil {
+		//v2plint:allow hotpathreach Tap is an optional observer hook, nil in measured runs; non-nil only in debug/trace captures
 		e.Tap(topology.SwitchRef(sw), p)
 	}
 	if !e.Scheme.SwitchArrive(e, sw, from, p) {

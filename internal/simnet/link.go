@@ -79,6 +79,7 @@ func (ev *linkEvent) Fire() {
 		ev.p = nil
 		l.free = append(l.free, ev)
 		l.inFlight--
+		//v2plint:allow hotpathreach deliver is bound once at topology wiring and never reassigned; effectively a static per-link destination
 		l.deliver(p)
 	}
 }

@@ -4,10 +4,7 @@
 // wall-clock time, which keeps runs fully deterministic.
 package simtime
 
-import (
-	"fmt"
-	"time"
-)
+import "time"
 
 // Time is an instant in simulated time, in nanoseconds since the start of
 // the run. The zero value is the start of the simulation.
@@ -77,8 +74,11 @@ func Milli(n int64) Duration { return Duration(n) * Millisecond }
 // of the given bandwidth in bits per second. It rounds up to a whole
 // nanosecond so that back-to-back packets never overlap.
 func TransmitTime(sizeBytes int, bitsPerSecond int64) Duration {
+	// Plain panic message: this runs on the serialization hot path and
+	// must stay free of fmt (hotpathreach); bandwidth is validated once
+	// at topology wiring, so the value would add nothing here.
 	if bitsPerSecond <= 0 {
-		panic(fmt.Sprintf("simtime: non-positive bandwidth %d", bitsPerSecond))
+		panic("simtime: non-positive bandwidth")
 	}
 	bits := int64(sizeBytes) * 8
 	ns := (bits*int64(Second) + bitsPerSecond - 1) / bitsPerSecond

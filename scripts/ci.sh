@@ -12,10 +12,12 @@ go build ./...
 echo "== vet =="
 go vet ./...
 
-echo "== v2plint (determinism + contract lint, all nine analyzers) =="
+echo "== v2plint (determinism + contract lint, all twelve analyzers) =="
 # -json keeps the findings machine-readable for CI annotation tooling;
-# a clean run prints [] and exits 0, any unwaived finding fails the build.
-go run ./cmd/v2plint -json ./...
+# a clean run prints [] and exits 0, any unwaived finding fails the
+# build. -time reports per-analyzer wall clock (plus call-graph
+# construction) on stderr so lint-cost regressions are visible in logs.
+go run ./cmd/v2plint -json -time ./...
 
 echo "== staticcheck =="
 if command -v staticcheck >/dev/null 2>&1; then
@@ -61,10 +63,11 @@ for phase in morning-ramp midday-churn migration-storm gateway-autoscale rolling
 done
 echo "$scenario_out" | grep -Eq 'pass|FAIL' || { echo "scenario smoke: no SLO verdicts in output"; exit 1; }
 
-echo "== bench snapshots (BENCH_engine.json, BENCH_scenario.json) =="
+echo "== bench snapshots (BENCH_engine.json, BENCH_scenario.json, BENCH_lint.json) =="
 # Machine-readable perf trajectory: engine event throughput (the
-# BenchmarkEngineEventsPerSec measurement) and the quick production-day
-# cost. Committing the refreshed files records the trend over time.
+# BenchmarkEngineEventsPerSec measurement), the quick production-day
+# cost, and the full-module v2plint cost per analyzer. Committing the
+# refreshed files records the trend over time.
 go run ./cmd/benchsnap -out .
 
 echo "CI OK"
