@@ -35,6 +35,19 @@ type engineSnap struct {
 	HeapHighWater int     `json:"heap_high_water"`
 	WallMs        float64 `json:"wall_ms"`
 	SimEndUs      float64 `json:"sim_end_us"`
+	// Sharded reruns the same configuration on the sharded deterministic
+	// engine at increasing worker counts. The simulation output is
+	// byte-identical at every count; only wall time moves. Events differ
+	// from the serial engine's figure because barrier-window bookkeeping
+	// (sampler ticks, cross-shard arrivals) is accounted differently.
+	Sharded []shardSnap `json:"sharded"`
+}
+
+type shardSnap struct {
+	Shards       int     `json:"shards"`
+	Events       int64   `json:"events"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	WallMs       float64 `json:"wall_ms"`
 }
 
 type scenarioSnap struct {
@@ -55,6 +68,22 @@ func engineSnapshot() (*engineSnap, error) {
 	if err != nil {
 		return nil, err
 	}
+	var sharded []shardSnap
+	for _, n := range []int{1, 2, 4, 8} {
+		scfg := cfg
+		scfg.Shards = n
+		sr, err := harness.Run(scfg)
+		if err != nil {
+			return nil, err
+		}
+		sp := &sr.Telemetry.Profile
+		sharded = append(sharded, shardSnap{
+			Shards:       n,
+			Events:       sp.Events,
+			EventsPerSec: sp.EventsPerSec(),
+			WallMs:       float64(sp.Wall) / float64(time.Millisecond),
+		})
+	}
 	p := &r.Telemetry.Profile
 	return &engineSnap{
 		Config:        "switchv2p/hadoop FT8 1024VM 1000flows (BenchmarkEngineEventsPerSec)",
@@ -64,6 +93,7 @@ func engineSnapshot() (*engineSnap, error) {
 		HeapHighWater: p.HeapHighWater,
 		WallMs:        float64(p.Wall) / float64(time.Millisecond),
 		SimEndUs:      float64(p.SimEnd) / 1e3,
+		Sharded:       sharded,
 	}, nil
 }
 
@@ -157,6 +187,9 @@ func main() {
 	}
 	fmt.Printf("BENCH_engine.json: %d events, %.0f events/sec, %.3f allocs/event\n",
 		eng.Events, eng.EventsPerSec, eng.AllocsPerEvt)
+	for _, s := range eng.Sharded {
+		fmt.Printf("  sharded %d: %d events, %.0f events/sec\n", s.Shards, s.Events, s.EventsPerSec)
+	}
 
 	scen, err := scenarioSnapshot()
 	if err != nil {

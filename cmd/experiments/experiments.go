@@ -29,6 +29,10 @@ type Scale struct {
 	// Workers > 1 runs sweep points through the harness worker pool
 	// (-parallel); output is identical at any worker count.
 	Workers int
+	// Shards > 0 runs each simulation on the sharded deterministic
+	// engine with that many workers (-shards). Best-effort: schemes
+	// outside the sharding whitelist stay on the serial engine.
+	Shards int
 
 	MigrationPackets int
 	MigrationSenders int
@@ -65,7 +69,18 @@ func (sc Scale) baseConfig(traceName string) harness.Config {
 		CacheFraction: 0.5,
 		Seed:          sc.Seed,
 		SweepWorkers:  sc.Workers,
+		Shards:        sc.Shards,
 	}
+}
+
+// runPoint executes one experiment point, dropping the sharded-engine
+// request for schemes outside its whitelist — -shards is best-effort
+// across experiments that mix schemes.
+func runPoint(cfg harness.Config) (*harness.Report, error) {
+	if cfg.Shards > 0 && !harness.ShardSupported(cfg.Scheme) {
+		cfg.Shards = 0
+	}
+	return harness.Run(cfg)
 }
 
 func newTable(headers ...string) (*tabwriter.Writer, func()) {
@@ -191,7 +206,7 @@ func fig7(sc Scale) error {
 	for _, s := range schemes {
 		cfg := sc.baseConfig("hadoop")
 		cfg.Scheme = s
-		r, err := harness.Run(cfg)
+		r, err := runPoint(cfg)
 		if err != nil {
 			return err
 		}
@@ -225,7 +240,7 @@ func fig8(sc Scale) error {
 	for _, s := range schemes {
 		cfg := sc.baseConfig("hadoop")
 		cfg.Scheme = s
-		r, err := harness.Run(cfg)
+		r, err := runPoint(cfg)
 		if err != nil {
 			return err
 		}
@@ -351,7 +366,7 @@ func table5(sc Scale) error {
 	for _, tr := range []string{"hadoop", "websearch", "alibaba", "microbursts", "video"} {
 		cfg := sc.baseConfig(tr)
 		cfg.Scheme = harness.SchemeSwitchV2P
-		r, err := harness.Run(cfg)
+		r, err := runPoint(cfg)
 		if err != nil {
 			return err
 		}
@@ -395,7 +410,7 @@ func controller(sc Scale) error {
 			cfg.Scheme = harness.SchemeController
 			cfg.ControllerInterval = interval
 			cfg.CacheFraction = frac
-			r, err := harness.Run(cfg)
+			r, err := runPoint(cfg)
 			if err != nil {
 				return err
 			}
@@ -407,7 +422,7 @@ func controller(sc Scale) error {
 		cfg := sc.baseConfig("websearch")
 		cfg.Scheme = harness.SchemeSwitchV2P
 		cfg.CacheFraction = frac
-		r, err := harness.Run(cfg)
+		r, err := runPoint(cfg)
 		if err != nil {
 			return err
 		}
@@ -446,7 +461,7 @@ func ablation(sc Scale) error {
 		cfg := sc.baseConfig("hadoop")
 		cfg.Scheme = harness.SchemeSwitchV2P
 		v.mod(&cfg)
-		r, err := harness.Run(cfg)
+		r, err := runPoint(cfg)
 		if err != nil {
 			return err
 		}

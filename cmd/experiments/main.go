@@ -30,6 +30,7 @@ func main() {
 	scaleName := flag.String("scale", "standard", "quick | standard | full")
 	seed := flag.Int64("seed", 1, "random seed")
 	parallel := flag.Bool("parallel", false, "run sweep points on all CPUs (identical output, less wall clock)")
+	shards := flag.Int("shards", 0, "run schemes that support it on the sharded engine with N workers (0 = serial; others stay serial)")
 	flag.StringVar(&csvDir, "csv", "", "also write plot-ready CSV files into this directory")
 	flag.Parse()
 
@@ -42,6 +43,7 @@ func main() {
 	if *parallel {
 		sc.Workers = runtime.NumCPU()
 	}
+	sc.Shards = *shards
 
 	// Scenarios are long-horizon multi-phase runs (internal/scenario);
 	// they are separate from -exp and never part of "all".

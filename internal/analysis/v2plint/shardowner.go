@@ -1,0 +1,158 @@
+package v2plint
+
+// ShardOwner enforces the sharded engine's ownership contract: the
+// `sharding` struct (internal/simnet/shard.go) is barrier-side state —
+// mailboxes, the barrier schedule, the domain clock, per-domain queues
+// — that worker goroutines must never touch directly. Its fields may
+// be read or written only from
+//
+//   - methods declared on *sharding (the barrier loop and its helpers,
+//     which run single-threaded between windows), or
+//   - functions annotated `//v2plint:shardbarrier <reason>` in their
+//     doc comment, asserting they run in barrier/setup context or read
+//     only fields immutable after EnableSharding. The reason is
+//     mandatory: a bare shardbarrier is itself a finding.
+//
+// Method calls on a sharding value (sh.post(...), sh.drainMail()) are
+// not flagged — the callee's own declaration context is what the
+// contract judges. Nil tests on an Engine's shard pointer are field
+// reads of Engine, not of sharding, and pass freely; the analyzer
+// fires only on selectors whose operand is the sharding struct itself.
+//
+// The discipline mirrors workersafe from the other side: workersafe
+// proves worker goroutines synchronize what they share, shardowner
+// proves barrier-only state never leaks into code that has not
+// declared which side of the barrier it runs on.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+var ShardOwner = &Analyzer{
+	Name: "shardowner",
+	Doc: "restricts field access on the engine's sharding state to " +
+		"*sharding methods and functions annotated //v2plint:shardbarrier " +
+		"<reason> (the barrier-context ownership contract)",
+	Run: runShardOwner,
+}
+
+func runShardOwner(pass *Pass) {
+	waived := collectShardBarriers(pass)
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if recvIsSharding(pass.TypesInfo, fn) || waived.covers(pass.Fset, fn) {
+				continue
+			}
+			checkShardAccess(pass, fn)
+		}
+	}
+}
+
+// checkShardAccess reports every field selector whose operand is the
+// sharding struct, anywhere in fn's body (function literals inherit the
+// enclosing declaration's context: a worker closure inside a *sharding
+// method is barrier-spawned by definition).
+func checkShardAccess(pass *Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		v, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Var)
+		if !ok || !v.IsField() {
+			return true
+		}
+		if t := pass.TypesInfo.TypeOf(sel.X); t == nil || !isShardingType(t) {
+			return true
+		}
+		pass.Reportf(sel.Sel.Pos(),
+			"access to sharding field %s outside a *sharding method; barrier-context code must be annotated //v2plint:shardbarrier <reason>",
+			v.Name())
+		return true
+	})
+}
+
+// recvIsSharding reports whether fn is a method on sharding or *sharding.
+func recvIsSharding(info *types.Info, fn *ast.FuncDecl) bool {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return false
+	}
+	t := info.TypeOf(fn.Recv.List[0].Type)
+	return t != nil && isShardingType(t)
+}
+
+// isShardingType matches the named struct `sharding` (possibly behind a
+// pointer). The name is the contract: the type is unexported, so the
+// analyzer only ever fires inside the package that declares it.
+func isShardingType(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "sharding"
+}
+
+// --- //v2plint:shardbarrier annotations ---
+
+// shardBarrierSet records reason-carrying shardbarrier annotation
+// lines: file → line → true.
+type shardBarrierSet map[string]map[int]bool
+
+// collectShardBarriers scans comments for //v2plint:shardbarrier,
+// reporting bare ones (no reason) as findings and returning the
+// reasoned ones.
+func collectShardBarriers(pass *Pass) shardBarrierSet {
+	out := shardBarrierSet{}
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if text != "v2plint:shardbarrier" && !strings.HasPrefix(text, "v2plint:shardbarrier ") {
+					continue
+				}
+				reason := strings.TrimSpace(strings.TrimPrefix(text, "v2plint:shardbarrier"))
+				if reason == "" {
+					pass.Reportf(c.Pos(), "//v2plint:shardbarrier needs a reason: why does this code run in barrier context?")
+					continue
+				}
+				pos := pass.Fset.Position(c.Pos())
+				if out[pos.Filename] == nil {
+					out[pos.Filename] = map[int]bool{}
+				}
+				out[pos.Filename][pos.Line] = true
+			}
+		}
+	}
+	return out
+}
+
+// covers reports whether a reasoned shardbarrier annotation sits in
+// fn's declaration header: anywhere from the doc comment's first line
+// through the line the body opens on.
+func (s shardBarrierSet) covers(fset *token.FileSet, fn *ast.FuncDecl) bool {
+	start := fset.Position(fn.Pos())
+	if fn.Doc != nil {
+		start = fset.Position(fn.Doc.Pos())
+	}
+	end := fset.Position(fn.Body.Lbrace)
+	lines := s[start.Filename]
+	if lines == nil {
+		return false
+	}
+	for l := start.Line; l <= end.Line; l++ {
+		if lines[l] {
+			return true
+		}
+	}
+	return false
+}

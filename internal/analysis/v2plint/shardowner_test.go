@@ -1,0 +1,17 @@
+package v2plint_test
+
+import (
+	"testing"
+
+	"switchv2p/internal/analysis/v2plint"
+	"switchv2p/internal/analysis/v2plint/analysistest"
+)
+
+func TestShardOwner(t *testing.T) {
+	// Covers the *sharding-method exemption (including worker closures
+	// inside one), the reasoned shardbarrier waiver, the bare-annotation
+	// finding, method-call and Engine-field silence, and the
+	// local-alias case.
+	analysistest.Run(t, analysistest.TestData(t), v2plint.ShardOwner,
+		"shardowner/simnet")
+}

@@ -1,0 +1,79 @@
+// Package simnet stubs the sharded engine's ownership contract for the
+// shardowner analyzer: sharding fields may be touched only by *sharding
+// methods or by functions whose doc carries a reasoned
+// //v2plint:shardbarrier annotation.
+package simnet
+
+type queue struct{ now int64 }
+
+type sharding struct {
+	now   int64
+	qs    []*queue
+	views []*Engine
+	dom   []int32
+}
+
+type Engine struct {
+	shard *sharding
+	dom   int32
+}
+
+// build is a *sharding method: unrestricted access to its own fields.
+func (sh *sharding) build() {
+	sh.now = 0
+	for range sh.qs {
+		sh.views = append(sh.views, nil)
+	}
+}
+
+// runWindow shows that worker closures inside a *sharding method
+// inherit the method's context. Silent.
+func (sh *sharding) runWindow(end int64) {
+	fn := func() { sh.now = end }
+	fn()
+}
+
+// Sharded tests the Engine's pointer — a field of Engine, not of
+// sharding. Silent.
+func (e *Engine) Sharded() bool { return e.shard != nil }
+
+// Now reads the barrier clock from an Engine method with no annotation:
+// the contract violation the analyzer exists for.
+func (e *Engine) Now() int64 {
+	if e.shard != nil {
+		return e.shard.now // want `access to sharding field now outside a \*sharding method`
+	}
+	return 0
+}
+
+// hostQ reads the immutable tables and says so.
+//
+//v2plint:shardbarrier reads only tables immutable after setup
+func (e *Engine) hostQ(host int32) *queue {
+	return e.shard.qs[e.shard.dom[host]]
+}
+
+// drive calls sharding methods — calls are judged at the callee, never
+// at the call site. Silent.
+func (e *Engine) drive() {
+	e.shard.build()
+	e.shard.runWindow(1)
+}
+
+// leakThroughLocal shows the local-alias case: binding the pointer to a
+// variable does not launder the field access.
+func (e *Engine) leakThroughLocal() int {
+	sh := e.shard
+	if sh == nil {
+		return 0
+	}
+	return len(sh.views) // want `access to sharding field views outside a \*sharding method`
+}
+
+// bareAnnotation carries no reason: itself a finding wherever it
+// appears, and it waives nothing.
+func bareAnnotation(e *Engine) {
+	//v2plint:shardbarrier
+	// want-above `//v2plint:shardbarrier needs a reason`
+	e.shard.now++ // want `access to sharding field now outside a \*sharding method`
+}

@@ -10,7 +10,7 @@
 // a CacheFlusher obligation on every scheme, nil-safe telemetry
 // handles); those are machine-checked here too.
 //
-// The suite ships twelve analyzers — nine intraprocedural, plus three
+// The suite ships thirteen analyzers — ten intraprocedural, plus three
 // interprocedural ones built on a per-Program call graph (see
 // callgraph.go) that resolves static calls, concrete method calls, and
 // interface calls via the implements-relation:
@@ -42,6 +42,10 @@
 //   - nilsafemetrics: requires every exported pointer-receiver method
 //     on telemetry types (and //v2plint:nilsafe-annotated types) to
 //     begin with a nil-receiver guard.
+//   - shardowner: the sharded engine's ownership contract — fields of
+//     the barrier-side `sharding` struct may be touched only from
+//     *sharding methods or functions annotated
+//     //v2plint:shardbarrier <reason>.
 //   - hotpathreach: extends the hot-path contract transitively — the
 //     call closure of every //v2plint:hotpath root (and the known entry
 //     points) must be free of heap allocation, fmt, wall-clock reads,
@@ -165,7 +169,7 @@ type TextEdit struct {
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		DetRange, WallClock, GlobalRand, SimTimeUnits,
-		HotPathAlloc, FaultGate, SchemeComplete, NilSafeMetrics,
+		HotPathAlloc, FaultGate, SchemeComplete, NilSafeMetrics, ShardOwner,
 		HotPathReach, WorkerSafe, PlanPure,
 		AllowReason,
 	}

@@ -116,11 +116,21 @@ type Scheme struct {
 	roles        []topology.SwitchRole // current role per switch (dynamic, §4)
 	caches       []MappingCache
 	tenantCaches []map[vnet.TenantID]MappingCache // non-nil iff opts.Tenancy set
-	// tsVec is the invalidation timestamp vector, allocated lazily per
-	// ToR: tsVec[tor][target] is the last time tor sent an invalidation
-	// to target (§3.3).
-	tsVec map[int32][]simtime.Time
+	// tsVec is the invalidation timestamp vector, indexed by switch with
+	// the inner vector allocated lazily per ToR: tsVec[tor][target] is
+	// the last time tor sent an invalidation to target (§3.3). A dense
+	// outer slice (not a map) so concurrent shards touching different
+	// ToRs never mutate shared map internals.
+	tsVec [][]simtime.Time
 	rng   *rand.Rand
+
+	// Sharded-engine state (simnet.ShardAware): with slots non-nil every
+	// hot-path stat mutation goes to slots[Engine.ShardSlot()] and every
+	// learning coin flip to the matching rngs entry; SyncShards folds the
+	// slot deltas into S at barriers. Nil slots (the serial engine)
+	// preserve the original single-stream behavior exactly.
+	slots []Stats
+	rngs  []*rand.Rand
 
 	S Stats
 }
@@ -130,7 +140,7 @@ func New(topo *topology.Topology, opts Options) *Scheme {
 	s := &Scheme{
 		opts:  opts,
 		topo:  topo,
-		tsVec: make(map[int32][]simtime.Time),
+		tsVec: make([][]simtime.Time, len(topo.Switches)),
 		rng:   rand.New(rand.NewSource(opts.Seed)),
 	}
 	s.roles = make([]topology.SwitchRole, len(topo.Switches))
@@ -188,7 +198,77 @@ func (s *Scheme) FlushCache(sw int32) {
 			c.Flush()
 		}
 	}
-	delete(s.tsVec, sw)
+	if int(sw) < len(s.tsVec) {
+		s.tsVec[sw] = nil
+	}
+}
+
+// SetShardSlots implements simnet.ShardAware: allocate one stat slot and
+// one learning-coin PRNG per shard domain. Each domain's PRNG seed is a
+// pure function of (Options.Seed, domain), so coin flips are
+// deterministic at any worker count (though the flip stream differs
+// from the serial engine's single PRNG — sharded runs are their own
+// determinism class, byte-identical across shard counts).
+func (s *Scheme) SetShardSlots(n int) {
+	s.slots = make([]Stats, n)
+	s.rngs = make([]*rand.Rand, n)
+	for i := range s.rngs {
+		s.rngs[i] = rand.New(rand.NewSource(s.opts.Seed + int64(i+1)*0x5851F42D))
+	}
+}
+
+// SyncShards implements simnet.ShardAware: fold every per-shard stat
+// delta into the aggregate S. Runs single-threaded at shard barriers;
+// every Stats field is a sum, so add-and-zero makes the barrier
+// frequency unobservable.
+func (s *Scheme) SyncShards() {
+	for i := range s.slots {
+		s.S.add(&s.slots[i])
+		s.slots[i] = Stats{}
+	}
+}
+
+// add accumulates o into s (all fields are sums).
+func (s *Stats) add(o *Stats) {
+	s.Lookups += o.Lookups
+	s.Hits += o.Hits
+	for i := 0; i < numLayers; i++ {
+		s.HitsByLayer[i] += o.HitsByLayer[i]
+		s.FirstHitsByLayer[i] += o.FirstHitsByLayer[i]
+		s.LookupsByLayer[i] += o.LookupsByLayer[i]
+		s.EvictionsByLayer[i] += o.EvictionsByLayer[i]
+	}
+	s.LearningSent += o.LearningSent
+	s.InvalidationsSent += o.InvalidationsSent
+	s.InvalidationsSuppressed += o.InvalidationsSuppressed
+	s.EntriesInvalidated += o.EntriesInvalidated
+	s.MisdeliveryTagged += o.MisdeliveryTagged
+	s.SpillAttached += o.SpillAttached
+	s.SpillInserted += o.SpillInserted
+	s.PromoteAttached += o.PromoteAttached
+	s.PromoteInserted += o.PromoteInserted
+}
+
+// stats returns the Stats the current event must mutate: the engine's
+// shard slot when sharded, the aggregate otherwise.
+//
+//v2plint:hotpath
+func (s *Scheme) stats(e *simnet.Engine) *Stats {
+	if s.slots == nil {
+		return &s.S
+	}
+	return &s.slots[e.ShardSlot()]
+}
+
+// rngFor returns the learning-coin PRNG for the current event's shard
+// (the single scheme PRNG on the serial engine).
+//
+//v2plint:hotpath
+func (s *Scheme) rngFor(e *simnet.Engine) *rand.Rand {
+	if s.rngs == nil {
+		return s.rng
+	}
+	return s.rngs[e.ShardSlot()]
 }
 
 // SenderResolve implements simnet.Scheme: SwitchV2P keeps the
@@ -214,6 +294,7 @@ func (s *Scheme) HostMisdeliver(e *simnet.Engine, host int32, p *packet.Packet) 
 func (s *Scheme) SwitchArrive(e *simnet.Engine, sw int32, from topology.NodeRef, p *packet.Packet) bool {
 	role := s.roles[sw]
 	cache := s.cacheFor(sw, p.VNI)
+	st := s.stats(e)
 
 	switch p.Kind {
 	case packet.Learning:
@@ -226,7 +307,7 @@ func (s *Scheme) SwitchArrive(e *simnet.Engine, sw int32, from topology.NodeRef,
 		return true
 	case packet.Invalidation:
 		if cache.Invalidate(p.Carried.VIP, p.Carried.PIP) {
-			s.S.EntriesInvalidated++
+			st.EntriesInvalidated++
 		}
 		if target, ok := s.topo.SwitchByPIP(p.DstPIP); ok && target == sw {
 			return false
@@ -244,9 +325,9 @@ func (s *Scheme) SwitchArrive(e *simnet.Engine, sw int32, from topology.NodeRef,
 		if !fromHost.Gateway && p.SrcPIP != fromHost.PIP && p.StalePIP != fromHost.PIP {
 			p.Misdelivered = true
 			p.StalePIP = fromHost.PIP
-			s.S.MisdeliveryTagged++
+			st.MisdeliveryTagged++
 			if s.opts.Invalidation && p.HitSwitch != packet.NoSwitch {
-				s.sendInvalidation(e, sw, p.HitSwitch, p.DstVIP, p.StalePIP, p.VNI)
+				s.sendInvalidation(e, st, sw, p.HitSwitch, p.DstVIP, p.StalePIP, p.VNI)
 			}
 			p.HitSwitch = packet.NoSwitch
 		}
@@ -256,7 +337,7 @@ func (s *Scheme) SwitchArrive(e *simnet.Engine, sw int32, from topology.NodeRef,
 	// they traverse.
 	if p.Misdelivered {
 		if cache.Invalidate(p.DstVIP, p.StalePIP) {
-			s.S.EntriesInvalidated++
+			st.EntriesInvalidated++
 		}
 	}
 
@@ -265,17 +346,17 @@ func (s *Scheme) SwitchArrive(e *simnet.Engine, sw int32, from topology.NodeRef,
 	hitHere := false
 	hitWasAccessed := false
 	if !p.Resolved && cache.Len() > 0 {
-		s.S.Lookups++
-		s.S.LookupsByLayer[layerOf(role)]++
+		st.Lookups++
+		st.LookupsByLayer[layerOf(role)]++
 		if pip, hit, was := cache.Lookup(p.DstVIP); hit && pip != p.StalePIP {
 			p.DstPIP = pip
 			p.Resolved = true
 			p.HitSwitch = int32(sw)
 			hitHere, hitWasAccessed = true, was
-			s.S.Hits++
-			s.S.HitsByLayer[layerOf(role)]++
+			st.Hits++
+			st.HitsByLayer[layerOf(role)]++
 			if p.FirstSent && p.Kind == packet.Data {
-				s.S.FirstHitsByLayer[layerOf(role)]++
+				st.FirstHitsByLayer[layerOf(role)]++
 			}
 		}
 	}
@@ -284,9 +365,9 @@ func (s *Scheme) SwitchArrive(e *simnet.Engine, sw int32, from topology.NodeRef,
 	// promotions, conservatively.
 	if p.Promote.IsValid() && role == topology.RoleCore {
 		if res := cache.InsertIfClear(p.Promote); res.Inserted {
-			s.S.PromoteInserted++
-			s.noteEvict(role, res.Evicted)
-			s.spill(p, res.Evicted)
+			st.PromoteInserted++
+			s.noteEvict(st, role, res.Evicted)
+			s.spill(st, p, res.Evicted)
 		}
 		p.Promote = netaddr.Mapping{}
 	}
@@ -295,8 +376,8 @@ func (s *Scheme) SwitchArrive(e *simnet.Engine, sw int32, from topology.NodeRef,
 	// entry evicted upstream, never displacing an active entry.
 	if p.Spill.IsValid() && s.opts.Spillover && cache.Len() > 0 {
 		if res := cache.InsertIfClear(p.Spill); res.Inserted {
-			s.S.SpillInserted++
-			s.noteEvict(role, res.Evicted)
+			st.SpillInserted++
+			s.noteEvict(st, role, res.Evicted)
 			p.Spill = res.Evicted // cascade (usually zero)
 		}
 	}
@@ -307,9 +388,9 @@ func (s *Scheme) SwitchArrive(e *simnet.Engine, sw int32, from topology.NodeRef,
 		if p.Resolved {
 			m := netaddr.Mapping{VIP: p.DstVIP, PIP: p.DstPIP}
 			res := cache.Insert(m)
-			s.noteEvict(role, res.Evicted)
-			s.spill(p, res.Evicted)
-			if res.New && s.opts.LearningPackets && s.rng.Float64() < s.opts.PLearn {
+			s.noteEvict(st, role, res.Evicted)
+			s.spill(st, p, res.Evicted)
+			if res.New && s.opts.LearningPackets && s.rngFor(e).Float64() < s.opts.PLearn {
 				// Skip senders attached to this very switch: their ToR is
 				// the gateway ToR, which has just learned the mapping via
 				// destination learning — there is nowhere closer to move it.
@@ -317,7 +398,7 @@ func (s *Scheme) SwitchArrive(e *simnet.Engine, sw int32, from topology.NodeRef,
 				if ok && s.topo.Hosts[srcHost].ToR != sw {
 					lp := packet.NewLearning(m, s.topo.Switches[sw].PIP, p.SrcPIP)
 					lp.VNI = p.VNI
-					s.S.LearningSent++
+					st.LearningSent++
 					e.InjectFromSwitch(sw, lp)
 				}
 			}
@@ -325,14 +406,14 @@ func (s *Scheme) SwitchArrive(e *simnet.Engine, sw int32, from topology.NodeRef,
 	case topology.RoleToR:
 		if m := (netaddr.Mapping{VIP: p.SrcVIP, PIP: p.SrcPIP}); m.IsValid() {
 			res := cache.Insert(m)
-			s.noteEvict(role, res.Evicted)
-			s.spill(p, res.Evicted)
+			s.noteEvict(st, role, res.Evicted)
+			s.spill(st, p, res.Evicted)
 		}
 	case topology.RoleSpine, topology.RoleGatewaySpine:
 		if p.Resolved {
 			res := cache.InsertIfClear(netaddr.Mapping{VIP: p.DstVIP, PIP: p.DstPIP})
-			s.noteEvict(role, res.Evicted)
-			s.spill(p, res.Evicted)
+			s.noteEvict(st, role, res.Evicted)
+			s.spill(st, p, res.Evicted)
 		}
 	case topology.RoleCore:
 		// Cores learn only from promotions, handled in (4).
@@ -346,7 +427,7 @@ func (s *Scheme) SwitchArrive(e *simnet.Engine, sw int32, from topology.NodeRef,
 		if dstHost, ok := s.topo.HostByPIP(p.DstPIP); ok &&
 			s.topo.Hosts[dstHost].Pod != s.topo.Switches[sw].Pod {
 			p.Promote = netaddr.Mapping{VIP: p.DstVIP, PIP: p.DstPIP}
-			s.S.PromoteAttached++
+			st.PromoteAttached++
 		}
 	}
 
@@ -354,27 +435,29 @@ func (s *Scheme) SwitchArrive(e *simnet.Engine, sw int32, from topology.NodeRef,
 }
 
 // noteEvict counts a displaced valid entry toward the per-layer
-// eviction stats.
-func (s *Scheme) noteEvict(role topology.SwitchRole, evicted netaddr.Mapping) {
+// eviction stats (st: see stats).
+func (s *Scheme) noteEvict(st *Stats, role topology.SwitchRole, evicted netaddr.Mapping) {
 	if evicted.IsValid() {
-		s.S.EvictionsByLayer[layerOf(role)]++
+		st.EvictionsByLayer[layerOf(role)]++
 	}
 }
 
 // spill attaches an evicted entry to the packet being processed if the
 // spillover slot is free (§3.2.2 "Cache spillover").
-func (s *Scheme) spill(p *packet.Packet, evicted netaddr.Mapping) {
+func (s *Scheme) spill(st *Stats, p *packet.Packet, evicted netaddr.Mapping) {
 	if s.opts.Spillover && evicted.IsValid() && !p.Spill.IsValid() {
 		p.Spill = evicted
-		s.S.SpillAttached++
+		st.SpillAttached++
 	}
 }
 
 // sendInvalidation emits a targeted invalidation packet from ToR tor to
 // the switch that served the stale hit, rate-limited by the timestamp
 // vector: at most one invalidation per target per base RTT (§3.3).
-func (s *Scheme) sendInvalidation(e *simnet.Engine, tor, target int32, vip netaddr.VIP, stale netaddr.PIP, vni uint32) {
+func (s *Scheme) sendInvalidation(e *simnet.Engine, st *Stats, tor, target int32, vip netaddr.VIP, stale netaddr.PIP, vni uint32) {
 	if s.opts.TimestampVector {
+		// tor is always the switch processing the current event, so the
+		// lazy inner allocation is owned by tor's shard.
 		vec := s.tsVec[tor]
 		if vec == nil {
 			vec = make([]simtime.Time, len(s.topo.Switches))
@@ -385,7 +468,7 @@ func (s *Scheme) sendInvalidation(e *simnet.Engine, tor, target int32, vip netad
 		}
 		now := e.Now()
 		if vec[target] >= 0 && now.Sub(vec[target]) < e.Cfg.BaseRTT {
-			s.S.InvalidationsSuppressed++
+			st.InvalidationsSuppressed++
 			return
 		}
 		vec[target] = now
@@ -393,7 +476,7 @@ func (s *Scheme) sendInvalidation(e *simnet.Engine, tor, target int32, vip netad
 	inv := packet.NewInvalidation(vip, stale,
 		s.topo.Switches[tor].PIP, s.topo.Switches[target].PIP)
 	inv.VNI = vni
-	s.S.InvalidationsSent++
+	st.InvalidationsSent++
 	e.InjectFromSwitch(tor, inv)
 }
 

@@ -34,10 +34,31 @@ type item struct {
 // Queue is a min-heap of events ordered by (time, insertion order).
 // The zero value is an empty queue ready for use.
 type Queue struct {
-	heap []item
-	seq  uint64
-	now  simtime.Time
+	heap   []item
+	seq    uint64
+	now    simtime.Time
+	frozen string // non-empty: scheduling panics with this message
 }
+
+// CrossKeyBase is the tie-break key space reserved for cross-queue
+// handoffs (AtTimedKeyed). Ordinary insertions draw sequence numbers
+// from 1 upward, so any key with this bit set sorts after every local
+// event scheduled for the same instant — and two handoff keys order
+// among themselves by their explicit key value, independent of the
+// moment they were inserted. That independence is what makes a sharded
+// simulation's dispatch order a pure function of event content rather
+// than of when a synchronization round happened to drain a mailbox.
+const CrossKeyBase = uint64(1) << 63
+
+// Freeze makes every subsequent scheduling call (At, After, AtTimed,
+// AfterTimed, AtTimedKeyed) panic with the given message. The sharded
+// engine freezes the root queue so stray schedulers — a scheme or tool
+// that was not audited for shard ownership — fail loudly instead of
+// silently scheduling events no worker will ever dispatch.
+func (q *Queue) Freeze(msg string) { q.frozen = msg }
+
+// Frozen reports whether the queue rejects new events.
+func (q *Queue) Frozen() bool { return q.frozen != "" }
 
 // Now returns the current simulated time: the timestamp of the most
 // recently dispatched event.
@@ -54,6 +75,9 @@ func (q *Queue) Len() int { return len(q.heap) }
 func (q *Queue) At(t simtime.Time, fn Event) {
 	if t < q.now {
 		panic("eventq: scheduling event in the past")
+	}
+	if q.frozen != "" {
+		panic(q.frozen)
 	}
 	q.seq++
 	q.heap = append(q.heap, item{at: t, seq: q.seq, fn: fn})
@@ -76,8 +100,35 @@ func (q *Queue) AtTimed(t simtime.Time, ev Timed) {
 	if t < q.now {
 		panic("eventq: scheduling event in the past")
 	}
+	if q.frozen != "" {
+		panic(q.frozen)
+	}
 	q.seq++
 	q.heap = append(q.heap, item{at: t, seq: q.seq, ev: ev})
+	q.up(len(q.heap) - 1)
+}
+
+// AtTimedKeyed schedules ev at instant t with an explicit tie-break key
+// instead of the insertion-order sequence. The key must be >= CrossKeyBase
+// so handoff events never interleave with (or collide with) local
+// sequence numbers; the caller owns key uniqueness within its key space.
+// Used by the sharded engine for cross-shard packet handoffs: the key is
+// derived from (source shard, source emission order), so the dispatch
+// order at the destination is identical whether the record was inserted
+// eagerly (oracle mode) or at a barrier (windowed parallel mode).
+//
+//v2plint:hotpath
+func (q *Queue) AtTimedKeyed(t simtime.Time, ev Timed, key uint64) {
+	if t < q.now {
+		panic("eventq: scheduling event in the past")
+	}
+	if key < CrossKeyBase {
+		panic("eventq: AtTimedKeyed key below CrossKeyBase")
+	}
+	if q.frozen != "" {
+		panic(q.frozen)
+	}
+	q.heap = append(q.heap, item{at: t, seq: key, ev: ev})
 	q.up(len(q.heap) - 1)
 }
 
@@ -126,6 +177,32 @@ func (q *Queue) Run(horizon simtime.Time) int {
 		n++
 	}
 	return n
+}
+
+// RunBefore dispatches events strictly earlier than t and returns the
+// number dispatched. It is the sharded engine's window drain: with
+// lookahead W, each shard runs RunBefore(T+W) knowing no cross-shard
+// influence can arrive inside [T, T+W).
+//
+//v2plint:hotpath
+func (q *Queue) RunBefore(t simtime.Time) int {
+	n := 0
+	for len(q.heap) > 0 && q.heap[0].at < t {
+		q.Step()
+		n++
+	}
+	return n
+}
+
+// PeekKey returns the (time, tie-break key) of the earliest pending
+// event and whether one exists. The sharded oracle loop uses it to pick
+// the globally next event across shard queues: compare (time, key)
+// lexicographically, then by shard index.
+func (q *Queue) PeekKey() (simtime.Time, uint64, bool) {
+	if len(q.heap) == 0 {
+		return 0, 0, false
+	}
+	return q.heap[0].at, q.heap[0].seq, true
 }
 
 // PeekTime returns the timestamp of the earliest pending event and whether

@@ -59,7 +59,10 @@ func (in *Injector) Attach(e *simnet.Engine, cfg *Config, col *telemetry.Collect
 	}
 	for i := range in.events {
 		ev := in.events[i]
-		e.Q.At(ev.At, func() { in.apply(e, ev) })
+		// AtBarrier degrades to a plain queue event on the serial engine;
+		// sharded, it applies the fault at a synchronization barrier so
+		// every shard observes it atomically.
+		e.AtBarrier(ev.At, func() { in.apply(e, ev) })
 	}
 }
 

@@ -129,8 +129,7 @@ func CacheSizeSweep(base Config, fractions []float64, schemes []string) ([]Sweep
 			reports[i] = nc
 			return nil
 		}
-		cfg := base
-		cfg.Scheme = jobs[i].scheme
+		cfg := base.forScheme(jobs[i].scheme)
 		if jobs[i].setFrac {
 			cfg.CacheFraction = jobs[i].frac
 		}
@@ -190,8 +189,7 @@ func GatewaySweep(base Config, gatewayCounts []int, schemes []string) ([]Gateway
 	}
 	out := make([]GatewayPoint, len(jobs))
 	err := runIndexed(base.sweepWorkers(), len(jobs), func(i int) error {
-		cfg := base
-		cfg.Scheme = jobs[i].scheme
+		cfg := base.forScheme(jobs[i].scheme)
 		cfg.ActiveGateways = jobs[i].gateways
 		r, err := Run(cfg)
 		if err != nil {
@@ -240,7 +238,7 @@ func TopologySweep(base Config, pods []int, schemes []string, scaled func(pods i
 		if err != nil {
 			return err
 		}
-		cfg.Scheme = jobs[i].scheme
+		cfg = cfg.forScheme(jobs[i].scheme)
 		r, err := Run(cfg)
 		if err != nil {
 			return err
@@ -298,7 +296,7 @@ type MigrationResult struct {
 // Migration runs the §5.2 incast + mid-trace migration experiment for
 // the scheme in cfg.Base.Scheme.
 func Migration(cfg MigrationConfig) (*MigrationResult, error) {
-	base := cfg.Base.withDefaults()
+	base := cfg.Base.withDefaults().forScheme(cfg.Base.Scheme)
 	w, err := Build(withoutWorkload(base))
 	if err != nil {
 		return nil, err
@@ -358,7 +356,9 @@ func Migration(cfg MigrationConfig) (*MigrationResult, error) {
 	if newHost < 0 {
 		return nil, fmt.Errorf("harness: no migration target found")
 	}
-	w.Engine.Q.At(cfg.MigrateAt, func() {
+	// Barrier op so the shared placement mutation is safe under the
+	// sharded engine; degrades to a plain queue event when serial.
+	w.Engine.AtBarrier(cfg.MigrateAt, func() {
 		if err := w.Net.Migrate(dst, newHost); err != nil {
 			panic(err)
 		}

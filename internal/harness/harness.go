@@ -103,6 +103,22 @@ type Config struct {
 	// healthy fast branches.
 	Faults *faults.Config
 
+	// Shards enables the sharded deterministic engine with that many
+	// worker goroutines over the topology's pod/core domains (0 = the
+	// classic serial engine). Results are byte-identical at every shard
+	// count and to ShardOracle mode — the worker count only changes how
+	// domains are claimed, never what they compute — but not to the
+	// serial engine, whose global event tie-breaking differs (see
+	// DESIGN.md). Only schemes free of global mutable per-event state
+	// support sharding: switchv2p, nocache, direct, gwcache.
+	Shards int
+	// ShardOracle runs the sharded engine in its serial oracle mode:
+	// the same domain decomposition, cross-shard mailboxes and event
+	// keys as Shards>0, dispatched by one goroutine in globally
+	// earliest-first order. The determinism tests compare it against the
+	// windowed parallel runs to validate the synchronization protocol.
+	ShardOracle bool
+
 	// SweepWorkers bounds how many simulations the sweep helpers
 	// (CacheSizeSweep, GatewaySweep, TopologySweep) run concurrently;
 	// 0 or 1 means serial. Every sweep point is an independent run
@@ -111,6 +127,33 @@ type Config struct {
 	SweepWorkers int
 
 	Seed int64
+}
+
+// ShardSupported reports whether the named scheme can run on the
+// sharded deterministic engine (Config.Shards / Config.ShardOracle).
+// The whitelist is audited by hand: a scheme qualifies only if every
+// per-event mutation it performs is confined to the event's own shard
+// domain or routed through per-shard slots (simnet.ShardAware).
+func ShardSupported(scheme string) bool {
+	switch scheme {
+	case SchemeSwitchV2P, SchemeNoCache, SchemeDirect, SchemeGwCache:
+		return true
+	}
+	return false
+}
+
+// forScheme returns the config with Scheme set to the given name,
+// dropping any sharded-engine request the scheme cannot honor. The
+// sweep helpers use it because their scheme lists mix whitelisted and
+// serial-only schemes: a Shards setting on the base config is
+// best-effort across the sweep, strict on a direct Build/Run.
+func (c Config) forScheme(scheme string) Config {
+	c.Scheme = scheme
+	if !ShardSupported(scheme) {
+		c.Shards = 0
+		c.ShardOracle = false
+	}
+	return c
 }
 
 // WithDefaults returns the config with every zero value filled in the
@@ -314,6 +357,18 @@ func Build(cfg Config) (*World, error) {
 	engCfg := simnet.DefaultConfig()
 	engCfg.ActiveGateways = cfg.ActiveGateways
 	engine := simnet.New(topo, net, scheme, engCfg)
+	if cfg.Shards > 0 || cfg.ShardOracle {
+		if !ShardSupported(cfg.Scheme) {
+			return nil, fmt.Errorf("harness: scheme %q does not support the sharded engine; use one of: %s, %s, %s, %s",
+				cfg.Scheme, SchemeSwitchV2P, SchemeNoCache, SchemeDirect, SchemeGwCache)
+		}
+		workers := cfg.Shards
+		if workers <= 0 {
+			workers = 1
+		}
+		engine.ShardOracle = cfg.ShardOracle
+		engine.EnableSharding(workers)
+	}
 	agent := transport.New(engine, transport.DefaultConfig())
 
 	w := &World{

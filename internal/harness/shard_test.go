@@ -1,0 +1,147 @@
+package harness
+
+// Determinism guards for the sharded engine (internal/simnet/shard.go):
+// byte-identical results at every shard count, oracle-vs-windowed
+// protocol validation, fault schedules at >1 shard, and the scheme
+// whitelist.
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"switchv2p/internal/simtime"
+	"switchv2p/internal/telemetry"
+)
+
+// runShardedDoc runs one configuration to completion and flattens every
+// comparable outcome — the report fingerprint, the engine counters, the
+// sampled timeline, the registry contents and the fault timeline — into
+// one string. The engine profile is wall-clock and so deliberately
+// excluded.
+func runShardedDoc(t *testing.T, cfg Config) (*Report, string) {
+	t.Helper()
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc bytes.Buffer
+	doc.WriteString(reportFingerprint(r))
+	fmt.Fprintf(&doc, "\n%+v\n", r.World.Engine.C)
+	if r.CoreStats != nil {
+		fmt.Fprintf(&doc, "%+v\n", *r.CoreStats)
+	}
+	if r.Telemetry != nil {
+		if err := r.Telemetry.WriteCSV(&doc); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Telemetry.WriteFaultsCSV(&doc); err != nil {
+			t.Fatal(err)
+		}
+		fmt.Fprintf(&doc, "%+v\n%+v\n", r.Telemetry.Registry.Counters(), r.Telemetry.Registry.Gauges())
+	}
+	return r, doc.String()
+}
+
+// TestShardCountByteIdentical is the tentpole's acceptance guard: the
+// same seed run at 1, 2, 4 and 8 shard workers must produce
+// byte-identical reports and telemetry snapshots — the worker count only
+// changes which goroutine claims a domain, never what it computes.
+func TestShardCountByteIdentical(t *testing.T) {
+	for _, scheme := range []string{SchemeSwitchV2P, SchemeNoCache} {
+		var refDoc string
+		var ref *Report
+		for _, shards := range []int{1, 2, 4, 8} {
+			cfg := quickConfig(scheme)
+			cfg.Telemetry = &telemetry.Options{Interval: 5 * simtime.Microsecond}
+			cfg.Shards = shards
+			r, doc := runShardedDoc(t, cfg)
+			if r.HostSent == 0 || r.Summary.Flows == 0 {
+				t.Fatalf("%s shards=%d: empty run (sent=%d flows=%d)",
+					scheme, shards, r.HostSent, r.Summary.Flows)
+			}
+			if shards == 1 {
+				ref, refDoc = r, doc
+				continue
+			}
+			if doc != refDoc {
+				t.Errorf("%s: results diverge between 1 and %d shards\n1 shard:\n%s\n%d shards:\n%s",
+					scheme, shards, refDoc, shards, doc)
+			}
+			if !reflect.DeepEqual(r.World.Engine.C, ref.World.Engine.C) {
+				t.Errorf("%s: engine counters diverge between 1 and %d shards:\n1: %+v\n%d: %+v",
+					scheme, shards, ref.World.Engine.C, shards, r.World.Engine.C)
+			}
+		}
+	}
+}
+
+// TestShardOracleMatchesWindowed validates the conservative
+// synchronization protocol itself: the serial oracle (globally
+// earliest-first dispatch over the same domains, mailboxes and event
+// keys) and the windowed parallel runs must be byte-identical. Any
+// event the windowed engine dispatches out of global order in a way
+// that matters would break this.
+func TestShardOracleMatchesWindowed(t *testing.T) {
+	oracle := quickConfig(SchemeSwitchV2P)
+	oracle.Telemetry = &telemetry.Options{Interval: 5 * simtime.Microsecond}
+	oracle.ShardOracle = true
+	_, oracleDoc := runShardedDoc(t, oracle)
+
+	windowed := quickConfig(SchemeSwitchV2P)
+	windowed.Telemetry = &telemetry.Options{Interval: 5 * simtime.Microsecond}
+	windowed.Shards = 4
+	_, windowedDoc := runShardedDoc(t, windowed)
+
+	if oracleDoc != windowedDoc {
+		t.Fatalf("oracle and windowed runs diverge\noracle:\n%s\nwindowed:\n%s", oracleDoc, windowedDoc)
+	}
+}
+
+// TestShardFaultScheduleDeterministic runs the full fault scenario
+// (explicit schedule, random failure model, loss windows) at more than
+// one shard: faults apply at barriers, so every shard count must see
+// the identical fault timeline and identical outcomes.
+func TestShardFaultScheduleDeterministic(t *testing.T) {
+	var refDoc string
+	var ref *Report
+	for _, shards := range []int{1, 2, 4} {
+		cfg := faultyConfig(SchemeSwitchV2P, 7)
+		cfg.Telemetry = &telemetry.Options{Interval: 5 * simtime.Microsecond}
+		cfg.Shards = shards
+		r, doc := runShardedDoc(t, cfg)
+		if r.FaultEvents == 0 {
+			t.Fatalf("shards=%d: no fault events applied", shards)
+		}
+		if r.FaultDrops+r.LossDrops == 0 {
+			t.Fatalf("shards=%d: fault scenario dropped nothing", shards)
+		}
+		if shards == 1 {
+			ref, refDoc = r, doc
+			continue
+		}
+		if doc != refDoc {
+			t.Errorf("fault run diverges between 1 and %d shards\n1 shard:\n%s\n%d shards:\n%s",
+				shards, refDoc, shards, doc)
+		}
+		if r.FaultEvents != ref.FaultEvents {
+			t.Errorf("fault event counts diverge: 1 shard %d, %d shards %d",
+				ref.FaultEvents, shards, r.FaultEvents)
+		}
+	}
+}
+
+// TestShardRejectsUnsupportedScheme pins the whitelist: schemes with
+// global mutable per-event state cannot run sharded and must be refused
+// with a descriptive error at build time, not a corrupt result at run
+// time.
+func TestShardRejectsUnsupportedScheme(t *testing.T) {
+	for _, scheme := range []string{SchemeLocalLearning, SchemeOnDemand, SchemeBluebird, SchemeController, SchemeHybrid} {
+		cfg := quickConfig(scheme)
+		cfg.Shards = 2
+		if _, err := Build(cfg); err == nil {
+			t.Errorf("%s: sharded build succeeded, want a whitelist error", scheme)
+		}
+	}
+}

@@ -103,5 +103,14 @@ func (w *World) attachTelemetry(opts telemetry.Options) {
 		reg.Gauge("cache.capacity_entries").Set(capacity)
 	}
 
-	tel.Attach(e.Q)
+	if e.Sharded() {
+		// The sharded root queue is frozen; the engine drives the sampler
+		// at barrier-aligned instants instead of the collector scheduling
+		// its own queue events.
+		if sampleIv, ok := tel.BarrierSampling(); ok {
+			e.SetBarrierSampler(sampleIv, tel.TickAt)
+		}
+	} else {
+		tel.Attach(e.Q)
+	}
 }

@@ -155,6 +155,27 @@ type Engine struct {
 	gwDown       []bool
 	activeFaults int
 	lossRand     *rand.Rand
+	lossSeed     int64 // seed recorded by SetLossSeed for per-shard derivation
+
+	// ShardOracle selects the sharded engine's serial reference mode:
+	// the same domain partition, per-domain queues and cross-domain keys,
+	// but a single goroutine dispatching the globally earliest event and
+	// delivering cross-domain handoffs eagerly (no lookahead windows, no
+	// mailbox batching). Byte-identity between oracle and windowed runs
+	// proves the conservative synchronization protocol exact, the same
+	// role ClosureEvents plays for the typed-event link path. Set before
+	// EnableSharding takes effect at the first Run.
+	ShardOracle bool
+
+	// Sharding state (see shard.go). shard is non-nil on the root engine
+	// once EnableSharding ran; dom is this engine's domain index on a
+	// per-shard view, -1 on the root. hostEvFree / crossFree are the
+	// per-engine pools for gateway/misdelivery records and cross-shard
+	// arrival records.
+	shard      *sharding
+	dom        int32
+	hostEvFree []*hostEvent
+	crossFree  []*crossEvent
 }
 
 // New builds an engine over the given topology and virtual network.
@@ -165,6 +186,7 @@ func New(topo *topology.Topology, net *vnet.Net, scheme Scheme, cfg Config) *Eng
 		Net:    net,
 		Scheme: scheme,
 		Cfg:    cfg,
+		dom:    -1,
 	}
 	e.C.SwitchPackets = make([]int64, len(topo.Switches))
 	e.C.SwitchBytes = make([]int64, len(topo.Switches))
@@ -191,12 +213,16 @@ func New(topo *topology.Topology, net *vnet.Net, scheme Scheme, cfg Config) *Eng
 		e.addLink(edge.B, edge.A, edge.Class)
 	}
 
+	// Copy the accessor's slice instead of aliasing it: Gateways()
+	// returns the topology's internal slice, so two engines sharing one
+	// topology (or a caller mutating the returned slice) must not be able
+	// to corrupt this engine's gateway set.
 	all := topo.Gateways()
 	n := cfg.ActiveGateways
 	if n <= 0 || n > len(all) {
 		n = len(all)
 	}
-	e.gateways = all[:n]
+	e.gateways = append([]int32(nil), all[:n]...)
 	return e
 }
 
@@ -207,20 +233,22 @@ func (e *Engine) addLink(from, to topology.NodeRef, class topology.LinkClass) {
 	}
 	l := &link{
 		e:          e,
+		dst:        e,
 		bps:        bps,
 		delay:      e.Topo.Cfg.LinkDelay,
 		fromSwitch: -1,
+		dstSw:      -1,
+		dstHost:    -1,
 	}
 	if from.Kind == topology.KindSwitch {
 		l.fromSwitch = from.Idx
 	}
 	switch to.Kind {
 	case topology.KindSwitch:
-		sw, fromRef := to.Idx, from
-		l.deliver = func(p *packet.Packet) { e.switchArrive(sw, fromRef, p) }
+		l.dstSw = to.Idx
+		l.fromRef = from
 	case topology.KindHost:
-		host := to.Idx
-		l.deliver = func(p *packet.Packet) { e.hostArrive(host, p) }
+		l.dstHost = to.Idx
 	}
 	if from.Kind == topology.KindHost {
 		e.hostUp[from.Idx] = l
@@ -232,14 +260,29 @@ func (e *Engine) addLink(from, to topology.NodeRef, class topology.LinkClass) {
 	}
 }
 
-// Now returns the current simulated time.
-func (e *Engine) Now() simtime.Time { return e.Q.Now() }
+// Now returns the current simulated time. On a sharded root engine this
+// is the barrier clock: the start of the current synchronization window
+// (exact at barriers, which is where root-side code — fault application,
+// telemetry sampling — runs).
+//
+//v2plint:shardbarrier reads the barrier clock, which only the single-threaded barrier loop advances; root-side callers run at barriers
+func (e *Engine) Now() simtime.Time {
+	if e.shard != nil && e.dom < 0 {
+		return e.shard.now
+	}
+	return e.Q.Now()
+}
 
 // Run dispatches events until the queue drains or the horizon passes.
 // With a profile attached (Prof non-nil) it steps the queue through the
 // profiling hooks; the dispatch order — and therefore every simulation
-// result — is identical either way.
+// result — is identical either way. On a sharded engine (EnableSharding)
+// it runs the conservative windowed parallel loop instead.
 func (e *Engine) Run(horizon simtime.Time) {
+	if e.shard != nil {
+		e.runSharded(horizon)
+		return
+	}
 	if e.Prof == nil {
 		e.Q.Run(horizon)
 		return
@@ -366,6 +409,14 @@ func (e *Engine) IsGatewayPIP(p netaddr.PIP) bool {
 //
 //v2plint:hotpath
 func (e *Engine) HostSend(host int32, p *packet.Packet) {
+	if sh := e.shard; sh != nil && e.dom < 0 {
+		// Sharded root: re-dispatch on the view that owns the host, so
+		// the UID stamp, counters and NIC enqueue mutate that shard's
+		// state. (Callbacks holding the root engine — the transport
+		// layer — land here; callbacks handed a view engine never do.)
+		e.viewOf(host).HostSend(host, p)
+		return
+	}
 	e.nextUID++
 	p.UID = e.nextUID
 	e.C.HostSent++
@@ -387,6 +438,10 @@ func (e *Engine) HostSend(host int32, p *packet.Packet) {
 //
 //v2plint:hotpath
 func (e *Engine) Resend(host int32, p *packet.Packet) {
+	if sh := e.shard; sh != nil && e.dom < 0 {
+		e.viewOf(host).Resend(host, p)
+		return
+	}
 	e.hostUp[host].enqueue(p)
 }
 
@@ -542,7 +597,17 @@ func (e *Engine) hostArrive(host int32, p *packet.Packet) {
 	if !e.Net.HostHasVM(host, p.DstVIP) {
 		e.C.Misdeliveries++
 		p.WasMisdelivered = true
-		e.Q.After(e.Cfg.MisdeliveryDelay, func() { e.Scheme.HostMisdeliver(e, host, p) })
+		if e.ClosureEvents {
+			// Legacy closure reference path, kept (like the link layer's)
+			// as the oracle for the pooled-record byte-identity guard.
+			e.Q.After(e.Cfg.MisdeliveryDelay, func() { e.Scheme.HostMisdeliver(e, host, p) })
+			return
+		}
+		ev := e.getHostEvent()
+		ev.p = p
+		ev.host = host
+		ev.kind = hostEvMisdeliver
+		e.Q.AfterTimed(e.Cfg.MisdeliveryDelay, ev)
 		return
 	}
 	e.C.Delivered++
@@ -582,11 +647,101 @@ func (e *Engine) gatewayProcess(host int32, p *packet.Packet) {
 		e.C.Drops++
 		return
 	}
-	e.Q.After(e.Cfg.GatewayDelay, func() {
+	if e.ClosureEvents {
+		// Legacy closure reference path (see hostArrive's misdelivery
+		// branch).
+		e.Q.After(e.Cfg.GatewayDelay, func() {
+			p.DstPIP = pip
+			p.Resolved = true
+			e.hostUp[host].enqueue(p)
+		})
+		return
+	}
+	ev := e.getHostEvent()
+	ev.p = p
+	ev.host = host
+	ev.kind = hostEvGatewayTx
+	ev.pip = pip
+	e.Q.AfterTimed(e.Cfg.GatewayDelay, ev)
+}
+
+// hostEvent is a pooled event record (eventq.Timed) for the two host-side
+// delayed actions that used to allocate a closure per packet: hypervisor
+// misdelivery re-forwarding and translation-gateway re-emission. Records
+// live on the owning engine's freelist and are recycled before the action
+// runs, so the pool grows to the concurrent high-water mark and is then
+// reused forever — the steady-state path allocates nothing.
+type hostEvent struct {
+	e    *Engine
+	p    *packet.Packet
+	pip  netaddr.PIP
+	host int32
+	kind uint8
+}
+
+const (
+	hostEvMisdeliver uint8 = iota
+	hostEvGatewayTx
+)
+
+// Fire dispatches the record's action and recycles it.
+func (ev *hostEvent) Fire() {
+	e, p, host, kind, pip := ev.e, ev.p, ev.host, ev.kind, ev.pip
+	ev.p = nil
+	e.hostEvFree = append(e.hostEvFree, ev)
+	switch kind {
+	case hostEvMisdeliver:
+		e.Scheme.HostMisdeliver(e, host, p)
+	default: // hostEvGatewayTx
 		p.DstPIP = pip
 		p.Resolved = true
 		e.hostUp[host].enqueue(p)
-	})
+	}
+}
+
+// getHostEvent pops a pooled record, allocating only to grow the pool.
+func (e *Engine) getHostEvent() *hostEvent {
+	if n := len(e.hostEvFree); n > 0 {
+		ev := e.hostEvFree[n-1]
+		e.hostEvFree = e.hostEvFree[:n-1]
+		return ev
+	}
+	return &hostEvent{e: e}
+}
+
+// mergeScalars folds another engine's scalar counter deltas into c and
+// zeroes them (add-and-zero, so merging is idempotent over barriers).
+// The per-switch / per-host slices are not touched: shard views share
+// the root's slice headers, and each index is written only by the shard
+// that owns the switch or host, so they need no merging at all.
+// LastMisdelivered is a timestamp, not a sum: the merged value is the
+// max, which equals "last" because simulated time is monotone.
+func (c *Counters) mergeScalars(from *Counters) {
+	c.GatewayPackets += from.GatewayPackets
+	c.GatewayBytes += from.GatewayBytes
+	c.HostSent += from.HostSent
+	c.Delivered += from.Delivered
+	c.DeliveredBytes += from.DeliveredBytes
+	c.DataDelivered += from.DataDelivered
+	c.DataHopsSum += from.DataHopsSum
+	c.LatencySumNs += from.LatencySumNs
+	c.Misdeliveries += from.Misdeliveries
+	c.Drops += from.Drops
+	c.LearningPkts += from.LearningPkts
+	c.InvalidationPkts += from.InvalidationPkts
+	c.ConsumedControl += from.ConsumedControl
+	c.StrayControlPkts += from.StrayControlPkts
+	c.GatewayUnknownVIP += from.GatewayUnknownVIP
+	c.FaultDrops += from.FaultDrops
+	c.LossDrops += from.LossDrops
+	c.Rerouted += from.Rerouted
+	if from.LastMisdelivered > c.LastMisdelivered {
+		c.LastMisdelivered = from.LastMisdelivered
+	}
+	sp, sb, sd := from.SwitchPackets, from.SwitchBytes, from.SwitchDrops
+	gp, gb := from.GatewayPktByHost, from.GatewayByteByHost
+	*from = Counters{SwitchPackets: sp, SwitchBytes: sb, SwitchDrops: sd,
+		GatewayPktByHost: gp, GatewayByteByHost: gb}
 }
 
 // AvgPacketLatency returns the mean delivery latency over Data packets.

@@ -159,8 +159,20 @@ func (e *Engine) SetLinkLoss(a, b topology.NodeRef, rate float64) error {
 // windows. The stream is consumed in event-dispatch order, which is
 // itself deterministic, so two runs with the same seed and the same
 // fault schedule drop exactly the same packets.
+// On a sharded engine each domain draws from its own PRNG, seeded by a
+// pure function of (seed, domain) — see shardLossSeed — so the streams
+// are deterministic at any worker count (though not identical to the
+// serial engine's single stream).
+//
+//v2plint:shardbarrier reseeding runs at setup or at a fault barrier, never inside a window
 func (e *Engine) SetLossSeed(seed int64) {
+	e.lossSeed = seed
 	e.lossRand = rand.New(rand.NewSource(seed))
+	if sh := e.shard; sh != nil && sh.views != nil {
+		for d, v := range sh.views {
+			v.lossRand = rand.New(rand.NewSource(shardLossSeed(seed, d)))
+		}
+	}
 }
 
 // ActiveFaults returns the number of currently failed entities (downed

@@ -13,6 +13,7 @@ import (
 	"testing"
 
 	"switchv2p/internal/eventq"
+	"switchv2p/internal/netaddr"
 	"switchv2p/internal/packet"
 	"switchv2p/internal/simtime"
 	"switchv2p/internal/telemetry"
@@ -29,7 +30,9 @@ func bareLink() (*Engine, *link) {
 		bps:        100_000_000_000,
 		delay:      simtime.Microsecond,
 		fromSwitch: -1,
-		deliver:    func(p *packet.Packet) {},
+		dst:        e,
+		dstSw:      -1,
+		dstHost:    -1, // unbound sink: delivery goes nowhere
 	}
 	return e, l
 }
@@ -61,7 +64,7 @@ func TestLinkSerializerSteadyStateAllocFree(t *testing.T) {
 func TestSwitchLinkSteadyStateAllocFree(t *testing.T) {
 	f := newFixture(t, gwScheme{})
 	l := f.e.swNbr[0][0]
-	l.deliver = func(p *packet.Packet) {} // cut off downstream hops
+	l.dstSw, l.dstHost = -1, -1 // unbind the sink: cut off downstream hops
 	p := packet.NewData(1, 0, 1000, 1, 2, 3)
 	for i := 0; i < 8; i++ {
 		l.enqueue(p)
@@ -164,6 +167,82 @@ func TestBufGaugeDrainsToZero(t *testing.T) {
 	if g.Value() != 0 {
 		t.Fatalf("buffer gauge reads %d after drain, want 0 (high water %d)",
 			g.Value(), g.HighWater())
+	}
+}
+
+// TestLinkQueueBoundedUnderSaturation is the egress-queue compaction
+// regression test: a link that never fully drains used to grow its
+// backing array without bound (compaction only happened at the
+// head==len reset). Holding the queue at a steady ~1-packet backlog
+// while the head advances for thousands of packets must leave the
+// backing array at a small constant capacity.
+func TestLinkQueueBoundedUnderSaturation(t *testing.T) {
+	_, l := bareLink()
+	p := packet.NewData(1, 0, 1000, 1, 2, 3)
+	// Pin the serializer busy so enqueue never kicks startNext itself,
+	// then alternate one arrival with one serializer pop: the queue
+	// holds steady at one packet while head advances every iteration —
+	// the exact saturation pattern that used to defeat compaction.
+	l.busy = true
+	l.queue = append(l.queue, p)
+	for i := 0; i < 10000; i++ {
+		l.enqueue(p)
+		l.serializeNext()
+	}
+	if c := cap(l.queue); c > 64 {
+		t.Fatalf("saturated link queue capacity grew to %d, want a small constant", c)
+	}
+}
+
+// runMisdeliveryScenario drives stale pre-resolved packets at migrated
+// VMs on the selected event path: every packet takes the hypervisor
+// misdelivery path, which the typed path dispatches through the pooled
+// hostEvent records (the gateway-transmit kind is covered by the
+// gateway scenario above).
+func runMisdeliveryScenario(t *testing.T, closures bool) Counters {
+	t.Helper()
+	f := newFixture(t, gwScheme{})
+	f.e.ClosureEvents = closures
+	rng := rand.New(rand.NewSource(11))
+	type moved struct {
+		vip     netaddr.VIP
+		oldHost int32
+	}
+	var ms []moved
+	for i := 0; i < 32; i++ {
+		v := f.vips[i]
+		old := f.hostOf(v)
+		nh := f.hostOf(f.vips[64+rng.Intn(128)])
+		if nh == old {
+			continue
+		}
+		if err := f.net.Migrate(v, nh); err != nil {
+			t.Fatal(err)
+		}
+		ms = append(ms, moved{vip: v, oldHost: old})
+	}
+	src := f.vips[200]
+	for i, m := range ms {
+		p := packet.NewData(uint64(1000+i), 0, 600, src, m.vip, 0)
+		p.DstPIP = f.e.Topo.Hosts[m.oldHost].PIP // stale resolution
+		p.Resolved = true
+		f.e.HostSend(f.hostOf(src), p)
+	}
+	f.e.Run(simtime.Never)
+	if f.e.C.Misdeliveries == 0 {
+		t.Fatal("scenario produced no misdeliveries")
+	}
+	return f.e.C
+}
+
+// TestMisdeliveryEventPathsByteIdentical extends the typed-vs-closure
+// determinism guard to the pooled hypervisor events: a misdelivery-heavy
+// run must produce byte-identical Counters on both event paths.
+func TestMisdeliveryEventPathsByteIdentical(t *testing.T) {
+	typed := runMisdeliveryScenario(t, false)
+	closure := runMisdeliveryScenario(t, true)
+	if !reflect.DeepEqual(typed, closure) {
+		t.Fatalf("counters diverge between event paths:\ntyped:   %+v\nclosure: %+v", typed, closure)
 	}
 }
 

@@ -3,6 +3,7 @@ package simnet
 import (
 	"switchv2p/internal/packet"
 	"switchv2p/internal/simtime"
+	"switchv2p/internal/topology"
 )
 
 // link is one direction of a physical link: a FIFO egress queue, a
@@ -11,12 +12,28 @@ import (
 // links egressing a host are paced by the transport layer and therefore
 // unbounded.
 type link struct {
-	e       *Engine
-	bps     int64
-	delay   simtime.Duration
-	deliver func(p *packet.Packet)
+	e     *Engine
+	bps   int64
+	delay simtime.Duration
+
+	// Delivery target, bound once at topology wiring: either a switch
+	// (dstSw >= 0, with fromRef the arriving direction) or a host
+	// (dstHost >= 0). dst is the engine the arrival runs on — the root
+	// engine in legacy mode; the sharded engine rebinds it to the
+	// destination shard's view so the arrival mutates that shard's state.
+	dst     *Engine
+	dstSw   int32
+	dstHost int32
+	fromRef topology.NodeRef
 
 	fromSwitch int32 // owning switch for shared-buffer accounting, -1 for host egress
+
+	// Shard-boundary marking (set when the engine is sharded): a link
+	// whose egress and ingress ends live in different shards hands
+	// packets off through a deterministic mailbox at the propagation
+	// stage instead of scheduling the deliver stage on its own queue.
+	boundary bool
+	dstDom   int32
 
 	// Fault state (see Engine.SetLinkFault / SetSwitchFault /
 	// SetLinkLoss). faultDown marks an explicit link failure; swFaults
@@ -71,17 +88,45 @@ func (ev *linkEvent) Fire() {
 	switch ev.stage {
 	case stageTxDone:
 		ev.l.txDone(ev.size)
-		ev.stage = stageDeliver
-		ev.l.e.Q.AfterTimed(ev.l.delay, ev)
+		if ev.l.boundary {
+			// The far end lives in another shard: hand the packet to the
+			// deterministic cross-shard mailbox instead of scheduling the
+			// propagation stage on this shard's queue. The record is
+			// recycled here, so the pool behaves exactly as in the local
+			// case.
+			l, p := ev.l, ev.p
+			ev.p = nil
+			l.free = append(l.free, ev)
+			l.inFlight--
+			l.e.shard.post(l, p)
+		} else {
+			ev.stage = stageDeliver
+			ev.l.e.Q.AfterTimed(ev.l.delay, ev)
+		}
 		ev.l.serializeNext()
 	default: // stageDeliver
 		l, p := ev.l, ev.p
 		ev.p = nil
 		l.free = append(l.free, ev)
 		l.inFlight--
-		//v2plint:allow hotpathreach deliver is bound once at topology wiring and never reassigned; effectively a static per-link destination
-		l.deliver(p)
+		l.deliverPkt(p)
 	}
+}
+
+// deliverPkt hands the packet to the far end of the link: a host NIC or
+// a switch ingress, on the engine that owns the destination (the root
+// engine in legacy mode, the destination shard's view when sharded).
+//
+//v2plint:hotpath
+func (l *link) deliverPkt(p *packet.Packet) {
+	if l.dstHost >= 0 {
+		//v2plint:allow hotpathreach host arrival runs the Handler/Tap hooks, whose dynamic dispatch is inherent to delivery; the binding is fixed at wiring
+		l.dst.hostArrive(l.dstHost, p)
+	} else if l.dstSw >= 0 {
+		l.dst.switchArrive(l.dstSw, l.fromRef, p)
+	}
+	// Both ends unbound: a sink link (tests exercising the bare
+	// serializer); the packet is discarded.
 }
 
 // getEvent pops a pooled record, allocating only to grow the pool.
@@ -170,6 +215,20 @@ func (l *link) startNext() {
 	if l.head == len(l.queue) {
 		l.queue = l.queue[:0]
 		l.head = 0
+	} else if l.head*2 >= len(l.queue) {
+		// Under sustained backlog the queue never fully drains, so waiting
+		// for that moment would let the backing array grow without bound
+		// while head advances. Copy the live tail down once head crosses
+		// the midpoint: each element moves at most once per half-drain
+		// (amortized O(1) per packet) and capacity stays bounded by about
+		// twice the backlog high-water mark.
+		n := copy(l.queue, l.queue[l.head:])
+		tail := l.queue[n:]
+		for i := range tail {
+			tail[i] = nil
+		}
+		l.queue = l.queue[:n]
+		l.head = 0
 	}
 	size := p.Size()
 	tx := simtime.TransmitTime(size, l.bps)
@@ -188,7 +247,7 @@ func (l *link) startNext() {
 		// propagation delay after the last bit leaves.
 		l.e.Q.After(l.delay, func() {
 			l.inFlight--
-			l.deliver(p)
+			l.deliverPkt(p)
 		})
 		l.serializeNext()
 	})

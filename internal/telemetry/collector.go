@@ -242,8 +242,43 @@ func (c *Collector) Attach(q *eventq.Queue) {
 	q.After(c.Interval, c.tick)
 }
 
+// BarrierSampling prepares the collector for externally driven sampling
+// — the sharded engine calls TickAt at every multiple of the returned
+// interval instead of the collector self-scheduling queue events (the
+// sharded root queue is frozen). It returns the sampling interval and
+// whether sampling is enabled at all (false for a nil or profile-only
+// collector). In streaming operation it also emits the exporter
+// headers, so all probes must be registered first.
+func (c *Collector) BarrierSampling() (simtime.Duration, bool) {
+	if c == nil || c.profileOnly {
+		return 0, false
+	}
+	if c.stream != nil {
+		c.initStreams()
+	}
+	return c.Interval, true
+}
+
+// TickAt takes one sample at the given simulated instant. It is the
+// externally driven counterpart of the self-scheduled tick; the caller
+// owns the cadence (see BarrierSampling).
+func (c *Collector) TickAt(now simtime.Time) {
+	if c == nil {
+		return
+	}
+	c.sample(now)
+}
+
 func (c *Collector) tick() {
-	now := c.q.Now()
+	c.sample(c.q.Now())
+	// Re-arm only while the simulation has work left: when this tick is
+	// dispatched the queue holds exactly the other pending events.
+	if c.q.Len() > 0 {
+		c.q.After(c.Interval, c.tick)
+	}
+}
+
+func (c *Collector) sample(now simtime.Time) {
 	c.ticks++
 	t := c.Timeline
 	t.Times = append(t.Times, now)
@@ -271,11 +306,6 @@ func (c *Collector) tick() {
 			}
 			t.Dropped++
 		}
-	}
-	// Re-arm only while the simulation has work left: when this tick is
-	// dispatched the queue holds exactly the other pending events.
-	if c.q.Len() > 0 {
-		c.q.After(c.Interval, c.tick)
 	}
 }
 

@@ -27,6 +27,10 @@ type EngineProfile struct {
 	Wall time.Duration
 	// SimEnd is the simulated instant at which the last run stopped.
 	SimEnd simtime.Time
+	// ShardEvents breaks Events down per shard domain when the sharded
+	// engine ran (nil on the serial engine): ShardEvents[d] is the
+	// cumulative event count dispatched by domain d's queue.
+	ShardEvents []int64
 }
 
 // EventsPerSec returns the wall-clock event dispatch rate.

@@ -13,10 +13,17 @@
 // perturbing it.
 package telemetry
 
-import "sort"
+import (
+	"sort"
+	"sync/atomic"
+)
 
 // Counter is a monotonically increasing int64 metric. The zero value is
-// ready for use; a nil *Counter is a valid no-op handle.
+// ready for use; a nil *Counter is a valid no-op handle. Updates are
+// atomic: counters like the transport retransmit/RTO tallies are bumped
+// from several shard workers on the sharded engine, and an atomic add
+// keeps them exact there at negligible cost on the serial engine
+// (uncontended atomic add is a handful of cycles).
 type Counter struct{ v int64 }
 
 // Inc adds one.
@@ -24,7 +31,7 @@ type Counter struct{ v int64 }
 //v2plint:hotpath
 func (c *Counter) Inc() {
 	if c != nil {
-		c.v++
+		atomic.AddInt64(&c.v, 1)
 	}
 }
 
@@ -33,7 +40,7 @@ func (c *Counter) Inc() {
 //v2plint:hotpath
 func (c *Counter) Add(n int64) {
 	if c != nil {
-		c.v += n
+		atomic.AddInt64(&c.v, n)
 	}
 }
 
@@ -44,7 +51,7 @@ func (c *Counter) Value() int64 {
 	if c == nil {
 		return 0
 	}
-	return c.v
+	return atomic.LoadInt64(&c.v)
 }
 
 // Gauge is a last-value metric that also tracks its high-water mark.
@@ -82,6 +89,22 @@ func (g *Gauge) HighWater() int64 {
 		return 0
 	}
 	return g.hw
+}
+
+// Absorb folds another gauge's high-water mark into g (the max of the
+// two). The sharded engine gives each shard view a private shadow gauge
+// for the buffer-occupancy hot path and absorbs the shadows into the
+// registry gauge at barriers, single-threaded — Absorb is not safe for
+// concurrent use. The instantaneous value is not merged here: shards
+// have no shared "last touched" notion, so the merger publishes its own
+// choice via Set.
+func (g *Gauge) Absorb(o *Gauge) {
+	if g == nil || o == nil {
+		return
+	}
+	if o.hw > g.hw {
+		g.hw = o.hw
+	}
 }
 
 // Registry hands out named counters and gauges. Lookups by name happen

@@ -99,12 +99,12 @@ func (blackhole) HostMisdeliver(e *simnet.Engine, host int32, p *packet.Packet) 
 // segments 4..9: ACKs 1,2 then six duplicate ACKs of 2, then full
 // catch-up.
 func reorderedAckStream(s *tcpSender) {
-	s.onAck(1)
-	s.onAck(2)
+	s.onAck(s.host, 1)
+	s.onAck(s.host, 2)
 	for i := 0; i < 6; i++ {
-		s.onAck(2) // duplicate ACKs caused by reordering, not loss
+		s.onAck(s.host, 2) // duplicate ACKs caused by reordering, not loss
 	}
-	s.onAck(10)
+	s.onAck(s.host, 10)
 }
 
 func TestDupThreshControlsSpuriousRetransmits(t *testing.T) {

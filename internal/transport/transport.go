@@ -136,13 +136,27 @@ func (a *Agent) AddFlow(spec FlowSpec) *FlowRecord {
 	a.Records = append(a.Records, rec)
 	switch spec.Proto {
 	case TCP:
-		s := &tcpSender{a: a, rec: rec}
+		s := &tcpSender{a: a, rec: rec, host: -1}
 		a.senders[spec.ID] = s
 		a.receivers[spec.ID] = &tcpReceiver{a: a, rec: rec}
-		a.e.Q.At(spec.Start, s.start)
+		if host, ok := a.hostOf(spec.Src); ok {
+			// Schedule on the queue that owns the source host (the root
+			// queue on a serial engine, the host's domain queue when
+			// sharded).
+			s.host = host
+			a.e.HostAt(host, spec.Start, s.start)
+		} else {
+			// Source VM not placed yet (churn scenarios place VMs
+			// mid-run): root-queue fallback, serial engine only.
+			a.e.Q.At(spec.Start, s.start)
+		}
 	case UDP:
 		a.udp[spec.ID] = rec
-		a.e.Q.At(spec.Start, func() { a.udpSend(rec, 0) })
+		if host, ok := a.hostOf(spec.Src); ok {
+			a.e.HostAt(host, spec.Start, func() { a.udpSend(rec, 0) })
+		} else {
+			a.e.Q.At(spec.Start, func() { a.udpSend(rec, 0) })
+		}
 	default:
 		panic(fmt.Sprintf("transport: unknown proto %d", spec.Proto))
 	}
@@ -159,23 +173,23 @@ func (a *Agent) deliver(host int32, p *packet.Packet) {
 	switch p.Kind {
 	case packet.Data:
 		if r := a.receivers[p.FlowID]; r != nil {
-			r.onData(p)
+			r.onData(host, p)
 			return
 		}
 		if rec := a.udp[p.FlowID]; rec != nil {
 			rec.PacketsGot++
 			if !rec.FirstDelivered {
 				rec.FirstDelivered = true
-				rec.FirstPacketLatency = a.e.Now().Sub(rec.Spec.Start)
+				rec.FirstPacketLatency = a.e.HostNow(host).Sub(rec.Spec.Start)
 			}
 			if rec.PacketsGot == int64(rec.Spec.Packets) {
 				rec.Completed = true
-				rec.FCT = a.e.Now().Sub(rec.Spec.Start)
+				rec.FCT = a.e.HostNow(host).Sub(rec.Spec.Start)
 			}
 		}
 	case packet.Ack:
 		if s := a.senders[p.FlowID]; s != nil {
-			s.onAck(p.AckNo)
+			s.onAck(host, p.AckNo)
 		}
 	}
 }
@@ -197,7 +211,7 @@ func (a *Agent) udpSend(rec *FlowRecord, i int) {
 	rec.PacketsSent++
 	a.e.HostSend(host, p)
 	if i+1 < rec.Spec.Packets {
-		a.e.Q.After(rec.Spec.Interval, func() { a.udpSend(rec, i+1) })
+		a.e.HostAfter(host, rec.Spec.Interval, func() { a.udpSend(rec, i+1) })
 	}
 }
 
@@ -206,6 +220,12 @@ func (a *Agent) udpSend(rec *FlowRecord, i int) {
 type tcpSender struct {
 	a   *Agent
 	rec *FlowRecord
+
+	// host is the flow's source host, resolved at AddFlow (-1 when the
+	// VM was not yet placed — churn scenarios, serial engine only). The
+	// sender's timers live on this host's queue so that, sharded, they
+	// stay inside the host's domain.
+	host int32
 
 	segs     int // total segments
 	lastSize int // payload of the final segment
@@ -231,6 +251,11 @@ type tcpSender struct {
 }
 
 func (s *tcpSender) start() {
+	if s.host < 0 {
+		if host, ok := s.a.hostOf(s.rec.Spec.Src); ok {
+			s.host = host
+		}
+	}
 	spec := s.rec.Spec
 	mss := s.a.cfg.MSS
 	s.segs = (spec.Bytes + mss - 1) / mss
@@ -274,7 +299,7 @@ func (s *tcpSender) transmit(seq int, retx bool) {
 	p.FirstSent = seq == 0 && !retx
 	p.Fin = seq == s.segs-1
 	p.Retx = retx
-	s.sent[seq] = s.a.e.Now()
+	s.sent[seq] = s.a.e.HostNow(host)
 	s.rec.PacketsSent++
 	if retx {
 		s.retxed[seq] = true
@@ -284,7 +309,7 @@ func (s *tcpSender) transmit(seq int, retx bool) {
 	s.a.e.HostSend(host, p)
 }
 
-func (s *tcpSender) onAck(ackNo int) {
+func (s *tcpSender) onAck(host int32, ackNo int) {
 	if s.done {
 		return
 	}
@@ -295,7 +320,7 @@ func (s *tcpSender) onAck(ackNo int) {
 		// the measurement is ambiguous and, fed into the backoff, can
 		// run away under persistent congestion.
 		if t := s.sent[ackNo-1]; t > 0 && !s.retxed[ackNo-1] {
-			s.rttSample(float64(s.a.e.Now().Sub(t)))
+			s.rttSample(float64(s.a.e.HostNow(host).Sub(t)))
 		}
 		s.una = ackNo
 		s.dupAcks = 0
@@ -350,12 +375,12 @@ func (s *tcpSender) rto() simtime.Duration {
 }
 
 func (s *tcpSender) armRTO() {
-	s.deadline = s.a.e.Q.Now().Add(s.rto())
+	s.deadline = s.a.e.HostNow(s.host).Add(s.rto())
 	if s.timerActive {
 		return // the pending event will chase the new deadline
 	}
 	s.timerActive = true
-	s.a.e.Q.At(s.deadline, s.onTimer)
+	s.a.e.HostAt(s.host, s.deadline, s.onTimer)
 }
 
 // onTimer fires the single retransmission timer: if the deadline moved
@@ -366,8 +391,8 @@ func (s *tcpSender) onTimer() {
 		s.timerActive = false
 		return
 	}
-	if now := s.a.e.Q.Now(); now < s.deadline {
-		s.a.e.Q.At(s.deadline, s.onTimer)
+	if now := s.a.e.HostNow(s.host); now < s.deadline {
+		s.a.e.HostAt(s.host, s.deadline, s.onTimer)
 		return
 	}
 	s.timerActive = false
@@ -415,13 +440,13 @@ func (r *tcpReceiver) init() {
 	r.inited = true
 }
 
-func (r *tcpReceiver) onData(p *packet.Packet) {
+func (r *tcpReceiver) onData(host int32, p *packet.Packet) {
 	if !r.inited {
 		r.init()
 	}
 	if !r.rec.FirstDelivered {
 		r.rec.FirstDelivered = true
-		r.rec.FirstPacketLatency = r.a.e.Now().Sub(r.rec.Spec.Start)
+		r.rec.FirstPacketLatency = r.a.e.HostNow(host).Sub(r.rec.Spec.Start)
 	}
 	r.rec.PacketsGot++
 	if p.Seq < len(r.got) && !r.got[p.Seq] {
@@ -432,7 +457,7 @@ func (r *tcpReceiver) onData(p *packet.Packet) {
 		}
 		if r.remaining == 0 && !r.rec.Completed {
 			r.rec.Completed = true
-			r.rec.FCT = r.a.e.Now().Sub(r.rec.Spec.Start)
+			r.rec.FCT = r.a.e.HostNow(host).Sub(r.rec.Spec.Start)
 		}
 	}
 	// Acknowledge (cumulative) — the ACK resolves like any packet.

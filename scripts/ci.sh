@@ -12,7 +12,7 @@ go build ./...
 echo "== vet =="
 go vet ./...
 
-echo "== v2plint (determinism + contract lint, all twelve analyzers) =="
+echo "== v2plint (determinism + contract lint, all thirteen analyzers) =="
 # -json keeps the findings machine-readable for CI annotation tooling;
 # a clean run prints [] and exits 0, any unwaived finding fails the
 # build. -time reports per-analyzer wall clock (plus call-graph
@@ -38,6 +38,13 @@ go test ./...
 
 echo "== race =="
 go test -race ./...
+
+echo "== shard determinism (byte-identical reports at 1/2/4/8 workers, under -race) =="
+# The sharded engine's core promise: same seed, same bytes, any worker
+# count — including telemetry series, fault schedules, and the serial
+# oracle. Runs under the race detector so a synchronization hole in the
+# barrier protocol fails CI even if it happens not to corrupt output.
+go test -race -count=1 -run 'TestShard' ./internal/harness
 
 echo "== examples smoke =="
 # Run the two examples a newcomer meets first: the README quickstart and
