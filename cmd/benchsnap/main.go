@@ -2,9 +2,11 @@
 // trajectory: BENCH_engine.json (raw discrete-event throughput, the
 // same measurement BenchmarkEngineEventsPerSec reports),
 // BENCH_scenario.json (wall-clock and per-phase SLO outcomes of a quick
-// production-day scenario), and BENCH_lint.json (v2plint wall time over
-// the whole module, per analyzer, plus the finding count — tracking the
-// cost of the growing static-analysis suite). CI runs it on every
+// production-day scenario), BENCH_workload.json (container-overlay
+// trace-generation throughput and workload shape), and BENCH_lint.json
+// (v2plint wall time over the whole module, per analyzer, plus the
+// finding count — tracking the cost of the growing static-analysis
+// suite). CI runs it on every
 // build; committing the files records how engine throughput, scenario
 // cost, and lint cost move over time.
 //
@@ -21,10 +23,13 @@ import (
 	"time"
 
 	"switchv2p/internal/analysis/v2plint"
+	"switchv2p/internal/containers"
 	"switchv2p/internal/harness"
+	"switchv2p/internal/netaddr"
 	"switchv2p/internal/scenario"
 	"switchv2p/internal/simtime"
 	"switchv2p/internal/telemetry"
+	"switchv2p/internal/trace"
 )
 
 type engineSnap struct {
@@ -121,6 +126,53 @@ func scenarioSnapshot() (*scenarioSnap, error) {
 	}, nil
 }
 
+type workloadSnap struct {
+	Config       string  `json:"config"`
+	Flows        int     `json:"flows"`
+	TotalBytes   int64   `json:"total_bytes"`
+	DistinctDsts int     `json:"distinct_dests"`
+	ReuseDistUs  float64 `json:"mean_reuse_distance_us"`
+	FlowsPerSec  float64 `json:"flows_per_sec"`
+	WallMs       float64 `json:"wall_ms"`
+}
+
+// workloadSnapshot measures the container-overlay trace generator:
+// wall-clock generation throughput plus the deterministic shape of the
+// emitted workload (flow count, bytes, reuse structure).
+func workloadSnapshot() (*workloadSnap, error) {
+	var alloc netaddr.VIPAllocator
+	vips := make([]netaddr.VIP, 64*128)
+	for i := range vips {
+		vips[i] = alloc.Next()
+	}
+	cfg := trace.Config{
+		VIPs:        vips,
+		Servers:     128,
+		HostLinkBps: 100e9,
+		Load:        0.30,
+		Duration:    simtime.Millisecond,
+		MaxFlows:    50000,
+		Seed:        1,
+	}
+	gen := containers.Generator(containers.Spec{PerHost: 64})
+	t0 := time.Now()
+	w, err := gen(cfg)
+	if err != nil {
+		return nil, err
+	}
+	wall := time.Since(t0)
+	s := trace.Analyze(w)
+	return &workloadSnap{
+		Config:       "containers 64/host 128 servers 50000 flows (density 64, fan-out 3, reuse 0.7)",
+		Flows:        s.Flows,
+		TotalBytes:   s.TotalBytes,
+		DistinctDsts: s.DistinctDests,
+		ReuseDistUs:  float64(s.MeanReuseDistance) / 1e3,
+		FlowsPerSec:  float64(s.Flows) / wall.Seconds(),
+		WallMs:       float64(wall) / float64(time.Millisecond),
+	}, nil
+}
+
 type lintSnap struct {
 	Config     string             `json:"config"`
 	Packages   int                `json:"packages"`
@@ -208,6 +260,18 @@ func main() {
 	}
 	fmt.Printf("BENCH_scenario.json: %d flows over %s in %.0fms wall, %d/%d phases met SLO\n",
 		scen.Report.Flows, scen.Horizon, scen.WallMs, pass, len(scen.Report.Phases))
+
+	work, err := workloadSnapshot()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchsnap workload: %v\n", err)
+		os.Exit(1)
+	}
+	if err := writeJSON(*out, "BENCH_workload.json", work); err != nil {
+		fmt.Fprintf(os.Stderr, "benchsnap: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("BENCH_workload.json: %d flows in %.0fms wall (%.0f flows/sec), %d distinct dests\n",
+		work.Flows, work.WallMs, work.FlowsPerSec, work.DistinctDsts)
 
 	lint, err := lintSnapshot()
 	if err != nil {

@@ -1,0 +1,136 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"switchv2p/internal/containers"
+	"switchv2p/internal/harness"
+	"switchv2p/internal/simtime"
+)
+
+// crossoverGrid holds the per-scale sweep axes of the container
+// crossover experiment.
+type crossoverGrid struct {
+	Densities []int     // containers per host
+	Reuses    []float64 // reuse-distance knob
+	Fractions []float64 // aggregate cache budget / container count
+}
+
+var crossoverGrids = map[string]crossoverGrid{
+	"quick": {
+		Densities: []int{4, 16},
+		Reuses:    []float64{0.2, 0.9},
+		Fractions: []float64{0.25},
+	},
+	"standard": {
+		Densities: []int{8, 32, 64, 128},
+		Reuses:    []float64{0.1, 0.9},
+		Fractions: []float64{0.05, 0.5},
+	},
+	"full": {
+		Densities: []int{8, 32, 64, 128, 256},
+		Reuses:    []float64{0.1, 0.5, 0.9},
+		Fractions: []float64{0.01, 0.05, 0.5},
+	},
+}
+
+// crossoverSchemes is the fixed comparison set: the paper's in-switch
+// design, the two host-tier designs, and the two bracketing baselines.
+var crossoverSchemes = []string{
+	harness.SchemeSwitchV2P, harness.SchemeHostCache, harness.SchemeHostToR,
+	harness.SchemeNoCache, harness.SchemeGwCache,
+}
+
+// crossoverSLO is the tail first-packet latency budget used for the
+// per-scheme SLO rows: generous enough that a healthy scheme passes
+// every cell, tight enough that a resolution stall (gateway detour
+// storms, misdelivery loops) fails it.
+const crossoverSLO = 400 * simtime.Microsecond
+
+// containerCrossover runs the headline host-vs-switch experiment: the
+// container-overlay workload swept over container density × reuse
+// distance × cache size for every scheme, reporting gateway offload and
+// p99 first-packet latency, the per-cell offload winner, and one SLO
+// row per scheme.
+func containerCrossover(sc Scale) error {
+	grid, ok := crossoverGrids[sc.Name]
+	if !ok {
+		return fmt.Errorf("no crossover grid for scale %q", sc.Name)
+	}
+	base := sc.baseConfig("")
+	base.Containers = &containers.Spec{}
+
+	pts, err := harness.ContainerCrossover(base, grid.Densities, grid.Reuses, grid.Fractions, crossoverSchemes)
+	if err != nil {
+		return err
+	}
+
+	tw, done := newTable("perHost", "reuse", "cache", "scheme", "offload", "p99first(µs)", "p99FCT(µs)", "gwPkts")
+	for _, p := range pts {
+		fmt.Fprintf(tw, "%d\t%.2f\t%g\t%s\t%.3f\t%s\t%s\t%d\n",
+			p.PerHost, p.Reuse, p.CacheFraction, p.Scheme,
+			p.HitRate, us(p.P99FirstPacket), us(p.P99FCT), p.GatewayPackets)
+	}
+	done()
+
+	// Per-cell offload winner: where the host/ToR crossover falls.
+	perScheme := len(crossoverSchemes)
+	fmt.Println("\ncrossover (best gateway offload per cell):")
+	tw, done = newTable("perHost", "reuse", "cache", "winner", "offload", "switchv2p", "hostcache", "hosttor")
+	for i := 0; i < len(pts); i += perScheme {
+		cell := pts[i : i+perScheme]
+		best := cell[0]
+		byScheme := map[string]float64{}
+		for _, p := range cell {
+			byScheme[p.Scheme] = p.HitRate
+			if p.HitRate > best.HitRate {
+				best = p
+			}
+		}
+		fmt.Fprintf(tw, "%d\t%.2f\t%g\t%s\t%.3f\t%.3f\t%.3f\t%.3f\n",
+			best.PerHost, best.Reuse, best.CacheFraction, best.Scheme, best.HitRate,
+			byScheme[harness.SchemeSwitchV2P], byScheme[harness.SchemeHostCache],
+			byScheme[harness.SchemeHostToR])
+	}
+	done()
+
+	// SLO rows: one per scheme, across all its cells.
+	fmt.Printf("\nSLO (p99 first packet <= %s µs):\n", us(simtime.Duration(crossoverSLO)))
+	tw, done = newTable("scheme", "SLO", "cells", "worst-p99first(µs)", "min-offload", "max-offload")
+	for _, scheme := range crossoverSchemes {
+		var cells, pass int
+		var worst simtime.Duration
+		minOff, maxOff := 1.0, 0.0
+		for _, p := range pts {
+			if p.Scheme != scheme {
+				continue
+			}
+			cells++
+			if p.P99FirstPacket <= crossoverSLO {
+				pass++
+			}
+			if p.P99FirstPacket > worst {
+				worst = p.P99FirstPacket
+			}
+			if p.HitRate < minOff {
+				minOff = p.HitRate
+			}
+			if p.HitRate > maxOff {
+				maxOff = p.HitRate
+			}
+		}
+		verdict := "pass"
+		if pass < cells {
+			verdict = fmt.Sprintf("FAIL(%d/%d)", pass, cells)
+		}
+		fmt.Fprintf(tw, "%s\tSLO=%s\t%d\t%s\t%.3f\t%.3f\n",
+			scheme, verdict, cells, us(worst), minOff, maxOff)
+	}
+	done()
+
+	writeCSV("container_crossover.csv", func(w *os.File) error {
+		return harness.WriteCrossoverCSV(w, pts)
+	})
+	return nil
+}

@@ -13,6 +13,9 @@ func TestHotPathReach(t *testing.T) {
 	// instance — the harness's dependency-first rule. The main package
 	// covers one-hop, two-hop/cross-package, interface-resolved, and
 	// dynamic findings plus the assume/guarantee and waiver negatives.
+	// "hotpathreach/hostscheme" adds the host-cache scheme-family shape:
+	// a hot resolve root reaching the install machinery's lazy map
+	// allocation, and silent edges into the annotated insert sub-root.
 	analysistest.Run(t, analysistest.TestData(t), v2plint.HotPathReach,
-		"hotpathreach/helper", "hotpathreach")
+		"hotpathreach/helper", "hotpathreach", "hotpathreach/hostscheme")
 }

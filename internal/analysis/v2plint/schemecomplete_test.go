@@ -8,6 +8,9 @@ import (
 )
 
 func TestSchemeComplete(t *testing.T) {
+	// "schemecomplete" covers the base shapes; "schemecomplete/hostscheme"
+	// covers the host-tier scheme family (no-op flush, flush inherited
+	// through an embedded switch tier, missing hook).
 	analysistest.RunWithSuggestedFixes(t, analysistest.TestData(t), v2plint.SchemeComplete,
-		"schemecomplete")
+		"schemecomplete", "schemecomplete/hostscheme")
 }

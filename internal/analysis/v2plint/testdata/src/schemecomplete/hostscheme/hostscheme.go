@@ -1,0 +1,45 @@
+// Package hostscheme seeds the host-tier scheme-family shapes the
+// schemecomplete contract must handle: a host-only scheme whose flush
+// hook is an explicit no-op (host state survives switch failures), a
+// hybrid that inherits FlushCache from its embedded switch tier, and a
+// host scheme that forgot the hook.
+package hostscheme
+
+import "simnet"
+
+// hostTier is shared host-resident state. It has no Name method, so it
+// is not a Scheme and is never audited on its own.
+type hostTier struct{ tables []int }
+
+// HostCache keeps all translation state host-resident: a switch failure
+// flushes nothing, and the explicit no-op records that decision. Silent.
+type HostCache struct{ hostTier }
+
+func (*HostCache) Name() string     { return "hostcache" }
+func (*HostCache) FlushCache(int32) {}
+
+// SwitchTier is the in-switch half of the hybrid.
+type SwitchTier struct{}
+
+func (*SwitchTier) Name() string     { return "switchtier" }
+func (*SwitchTier) FlushCache(int32) {}
+
+// HostToR satisfies both interfaces through promotion from the embedded
+// switch tier. Silent.
+type HostToR struct {
+	*SwitchTier
+	hostTier
+}
+
+// HostBroken implements Scheme but forgot the flush hook.
+type HostBroken struct{ hostTier } // want `HostBroken implements simnet\.Scheme but not simnet\.CacheFlusher`
+
+func (*HostBroken) Name() string { return "hostbroken" }
+
+var (
+	_ simnet.Scheme       = (*HostCache)(nil)
+	_ simnet.CacheFlusher = (*HostCache)(nil)
+	_ simnet.Scheme       = (*HostToR)(nil)
+	_ simnet.CacheFlusher = (*HostToR)(nil)
+	_ simnet.Scheme       = (*HostBroken)(nil)
+)

@@ -1,0 +1,240 @@
+package containers
+
+import (
+	"reflect"
+	"testing"
+
+	"switchv2p/internal/netaddr"
+	"switchv2p/internal/simtime"
+	"switchv2p/internal/topology"
+	"switchv2p/internal/trace"
+	"switchv2p/internal/vnet"
+)
+
+func testTopo(t *testing.T) *topology.Topology {
+	t.Helper()
+	cfg := topology.FT8()
+	cfg.Pods = 2
+	cfg.RacksPerPod = 2
+	cfg.SpinesPerPod = 2
+	cfg.Cores = 4
+	cfg.ServersPerRack = 2
+	cfg.GatewayPods = []int{0}
+	cfg.GatewaysPerPod = 2
+	topo, err := topology.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+func testConfig(topo *topology.Topology, seed int64) trace.Config {
+	return trace.Config{
+		Servers:     len(topo.Servers()),
+		HostLinkBps: 10_000_000_000,
+		Load:        0.3,
+		Duration:    200 * simtime.Microsecond,
+		MaxFlows:    500,
+		Seed:        seed,
+	}
+}
+
+func TestPlaceDensity(t *testing.T) {
+	topo := testTopo(t)
+	net := vnet.New(topo)
+	spec := Spec{PerHost: 8, Services: 6, Tenants: 3}
+	d, err := Place(net, spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	servers := topo.Servers()
+	if want := len(servers) * 8; len(d.VIPs) != want {
+		t.Fatalf("placed %d containers, want %d", len(d.VIPs), want)
+	}
+	// Exactly PerHost containers on every server; none on gateways.
+	perHost := map[int32]int{}
+	for _, vip := range d.VIPs {
+		h, ok := net.HostOf(vip)
+		if !ok {
+			t.Fatalf("container %v not placed", vip)
+		}
+		perHost[h]++
+	}
+	for _, s := range servers {
+		if perHost[s] != 8 {
+			t.Errorf("server %d hosts %d containers, want 8", s, perHost[s])
+		}
+	}
+	// Every service has replicas; tenants striped 1..Tenants.
+	total := 0
+	for si, members := range d.Services {
+		if len(members) == 0 {
+			t.Errorf("service %d has no replicas", si)
+		}
+		total += len(members)
+		if want := vnet.TenantID(1 + si%3); d.TenantOf[si] != want {
+			t.Errorf("service %d tenant = %d, want %d", si, d.TenantOf[si], want)
+		}
+		for _, vip := range members {
+			if got := net.TenantOf(vip); got != d.TenantOf[si] {
+				t.Errorf("container %v tenant = %d, want %d", vip, got, d.TenantOf[si])
+			}
+		}
+	}
+	if total != len(d.VIPs) {
+		t.Errorf("services cover %d containers, want %d", total, len(d.VIPs))
+	}
+}
+
+func TestPlaceDeterministic(t *testing.T) {
+	topo := testTopo(t)
+	spec := Spec{PerHost: 4}
+	d1, err := Place(vnet.New(topo), spec, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Place(vnet.New(topo), spec, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(d1.Services, d2.Services) {
+		t.Error("same-seed placements differ")
+	}
+	d3, err := Place(vnet.New(topo), spec, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(d1.Services, d3.Services) {
+		t.Error("different seeds produced identical service striping")
+	}
+}
+
+func TestWorkloadShape(t *testing.T) {
+	topo := testTopo(t)
+	net := vnet.New(topo)
+	d, err := Place(net, Spec{PerHost: 8, Services: 6, FanOut: 3}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig(topo, 1)
+	w, err := d.Workload(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Flows) == 0 {
+		t.Fatal("empty workload")
+	}
+	placed := map[netaddr.VIP]bool{}
+	for _, vip := range d.VIPs {
+		placed[vip] = true
+	}
+	// Starts stay within the duration plus the fan-out stagger.
+	maxStart := simtime.Time(cfg.Duration + 100*simtime.Microsecond)
+	for i := range w.Flows {
+		f := &w.Flows[i]
+		if f.Src == f.Dst {
+			t.Fatalf("flow %d: self-directed", f.ID)
+		}
+		if !placed[f.Src] || !placed[f.Dst] {
+			t.Fatalf("flow %d: endpoints outside the deployment", f.ID)
+		}
+		if f.Bytes <= 0 {
+			t.Fatalf("flow %d: %d bytes", f.ID, f.Bytes)
+		}
+		if f.Start < 0 || f.Start > maxStart {
+			t.Fatalf("flow %d: start %v outside trace window", f.ID, f.Start)
+		}
+	}
+	// Same seed, byte-identical workload; different seed, different flows.
+	w2, err := d.Workload(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(w.Flows, w2.Flows) {
+		t.Error("same-seed workloads differ")
+	}
+	cfg3 := cfg
+	cfg3.Seed = 2
+	w3, err := d.Workload(cfg3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(w.Flows, w3.Flows) {
+		t.Error("different seeds produced identical workloads")
+	}
+}
+
+// TestReuseKnob pins the reuse-distance semantics the crossover
+// experiment depends on: high Reuse concentrates each sender's traffic
+// on few distinct destinations, low Reuse spreads it.
+func TestReuseKnob(t *testing.T) {
+	topo := testTopo(t)
+	distinct := func(reuse float64) float64 {
+		net := vnet.New(topo)
+		d, err := Place(net, Spec{PerHost: 16, Services: 8, FanOut: 3, Reuse: reuse}, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := d.Workload(testConfig(topo, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		bySrc := map[netaddr.VIP]map[netaddr.VIP]bool{}
+		for i := range w.Flows {
+			f := &w.Flows[i]
+			if bySrc[f.Src] == nil {
+				bySrc[f.Src] = map[netaddr.VIP]bool{}
+			}
+			bySrc[f.Src][f.Dst] = true
+		}
+		sum := 0.0
+		for _, dsts := range bySrc {
+			sum += float64(len(dsts))
+		}
+		return sum / float64(len(bySrc))
+	}
+	high := distinct(0.95)
+	low := distinct(0.05)
+	if high >= low {
+		t.Errorf("mean distinct destinations per sender: reuse=0.95 gives %.2f, reuse=0.05 gives %.2f; want high reuse < low reuse", high, low)
+	}
+}
+
+// TestGeneratorRegistered covers the plain trace-generator adapter: the
+// "containers" generator is registered, shrinks its mesh to tiny VIP
+// populations, and produces flows within the population it is handed.
+func TestGeneratorRegistered(t *testing.T) {
+	gen := trace.Generators["containers"]
+	if gen == nil {
+		t.Fatal(`trace.Generators["containers"] not registered`)
+	}
+	topo := testTopo(t)
+	net := vnet.New(topo)
+	var vips []netaddr.VIP
+	for i := 0; i < 12; i++ {
+		vip := net.ReserveVIP()
+		if err := net.PlaceVM(vip, topo.Servers()[i%len(topo.Servers())], 1); err != nil {
+			t.Fatal(err)
+		}
+		vips = append(vips, vip)
+	}
+	cfg := testConfig(topo, 5)
+	cfg.VIPs = vips
+	w, err := gen(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Flows) == 0 {
+		t.Fatal("empty workload")
+	}
+	in := map[netaddr.VIP]bool{}
+	for _, v := range vips {
+		in[v] = true
+	}
+	for i := range w.Flows {
+		f := &w.Flows[i]
+		if !in[f.Src] || !in[f.Dst] || f.Src == f.Dst {
+			t.Fatalf("flow %d: bad endpoints %v -> %v", f.ID, f.Src, f.Dst)
+		}
+	}
+}

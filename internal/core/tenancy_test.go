@@ -180,6 +180,64 @@ func TestTenantMigrationInvalidation(t *testing.T) {
 	}
 }
 
+// TestTenantPartitionEvictionAccounting pins eviction accounting at
+// partition granularity: overflowing one tenant's tiny partition shows
+// up in Stats.EvictionsByLayer, occupancy never exceeds the partition's
+// own capacity, and the idle tenant's partitions stay empty — evictions
+// are charged to (and contained in) the partition that overflowed, not
+// the switch as a whole.
+func TestTenantPartitionEvictionAccounting(t *testing.T) {
+	opts := tenancyOpts(map[vnet.TenantID]float64{1: 0.5, 2: 0.5})
+	// 8 lines per switch → 4-line partitions, LRU so occupancy (not hash
+	// collisions) decides when a valid entry is displaced.
+	opts.LinesPerSwitch = 8
+	opts.LRU = true
+	w := newTenantWorld(t, opts)
+
+	evictions := func() int64 {
+		var n int64
+		for _, e := range w.scheme.S.EvictionsByLayer {
+			n += e
+		}
+		return n
+	}
+
+	// Within partition capacity: distinct destinations fill the sender
+	// ToR's 4-line partition without displacing anything.
+	for i := 0; i < 4; i++ {
+		w.send(uint64(1+i), w.a[0], w.a[10+i])
+	}
+	if n := evictions(); n != 0 {
+		t.Fatalf("evictions before overflow = %d", n)
+	}
+
+	// Far past capacity: the partition must evict, and the evictions
+	// must be accounted by layer.
+	for i := 0; i < 24; i++ {
+		w.send(uint64(100+i), w.a[0], w.a[14+i])
+	}
+	if n := evictions(); n == 0 {
+		t.Fatal("partition overflow produced no accounted evictions")
+	}
+	if w.scheme.S.EvictionsByLayer[LayerToR] == 0 {
+		t.Fatalf("no ToR-layer evictions despite sender-ToR overflow: %+v",
+			w.scheme.S.EvictionsByLayer)
+	}
+
+	// Containment: no partition ever holds more than its own capacity,
+	// and tenant B — which sent nothing — still has empty partitions on
+	// every switch.
+	for _, sw := range w.topo.Switches {
+		c1 := w.scheme.TenantCache(sw.Idx, 1)
+		if c1.Used() > c1.Len() {
+			t.Fatalf("switch %d tenant 1 occupancy %d > capacity %d", sw.Idx, c1.Used(), c1.Len())
+		}
+		if used := w.scheme.TenantCache(sw.Idx, 2).Used(); used != 0 {
+			t.Fatalf("switch %d idle tenant 2 partition holds %d entries", sw.Idx, used)
+		}
+	}
+}
+
 func TestSingleTenantPathUnchanged(t *testing.T) {
 	// With Tenancy nil, tenant ids are ignored and the shared cache works.
 	opts := DefaultOptions(256)

@@ -1,0 +1,85 @@
+package harness
+
+import (
+	"reflect"
+	"testing"
+
+	"switchv2p/internal/containers"
+	"switchv2p/internal/simtime"
+	"switchv2p/internal/topology"
+)
+
+func crossoverBase() Config {
+	return Config{
+		Topo:     topology.FT8(),
+		Load:     0.30,
+		Duration: 150 * simtime.Microsecond,
+		MaxFlows: 600,
+		Seed:     3,
+	}
+}
+
+// TestContainerDeploymentBuild pins the Config.Containers wiring: the
+// deployment replaces uniform placement, VMs is derived from density ×
+// servers before cache sizing, and the host-cache schemes surface their
+// host-tier stats in the report.
+func TestContainerDeploymentBuild(t *testing.T) {
+	cfg := crossoverBase()
+	cfg.Scheme = SchemeHostCache
+	cfg.Containers = &containers.Spec{PerHost: 8}
+	cfg.CacheFraction = 0.5
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	servers := len(r.World.Topo.Servers())
+	if want := 8 * servers; len(r.World.VIPs) != want {
+		t.Fatalf("deployment placed %d containers, want %d", len(r.World.VIPs), want)
+	}
+	if r.World.Cfg.VMs != 8*servers {
+		t.Fatalf("VMs not derived from deployment: %d", r.World.Cfg.VMs)
+	}
+	if r.HostStats == nil {
+		t.Fatal("hostcache run missing host stats")
+	}
+	if r.HostStats.Lookups == 0 || r.HostStats.Hits == 0 {
+		t.Fatalf("host tier inactive: %+v", r.HostStats)
+	}
+	if r.HitRate <= 0 {
+		t.Fatalf("hostcache offload = %v", r.HitRate)
+	}
+
+	cfg.Scheme = SchemeHostToR
+	r, err = Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.HostStats == nil || r.CoreStats == nil {
+		t.Fatal("hosttor run must report both host and core stats")
+	}
+}
+
+// TestContainerCrossoverDeterministic pins the crossover sweep's
+// parallel-determinism contract: the full point series is identical —
+// values and order — at any SweepWorkers count.
+func TestContainerCrossoverDeterministic(t *testing.T) {
+	run := func(workers int) []CrossoverPoint {
+		base := crossoverBase()
+		base.Containers = &containers.Spec{}
+		base.SweepWorkers = workers
+		pts, err := ContainerCrossover(base, []int{4, 8}, []float64{0.3, 0.9}, []float64{0.25},
+			[]string{SchemeSwitchV2P, SchemeHostCache, SchemeHostToR, SchemeNoCache, SchemeGwCache})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pts
+	}
+	serial := run(1)
+	parallel := run(8)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("crossover sweep diverges between 1 and 8 workers:\nserial:   %+v\nparallel: %+v", serial, parallel)
+	}
+	if len(serial) != 2*2*1*5 {
+		t.Fatalf("points = %d", len(serial))
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"math/rand"
 
 	"switchv2p/internal/baselines"
+	"switchv2p/internal/containers"
 	"switchv2p/internal/core"
 	"switchv2p/internal/faults"
 	"switchv2p/internal/netaddr"
@@ -33,13 +34,15 @@ const (
 	SchemeDirect        = "direct"
 	SchemeController    = "controller"
 	SchemeHybrid        = "hybrid"
+	SchemeHostCache     = "hostcache"
+	SchemeHostToR       = "hosttor"
 )
 
 // AllSchemes lists every supported scheme name.
 var AllSchemes = []string{
 	SchemeSwitchV2P, SchemeNoCache, SchemeLocalLearning, SchemeGwCache,
 	SchemeBluebird, SchemeOnDemand, SchemeDirect, SchemeController,
-	SchemeHybrid,
+	SchemeHybrid, SchemeHostCache, SchemeHostToR,
 }
 
 // Config describes one simulation run.
@@ -81,6 +84,22 @@ type Config struct {
 
 	// ControllerInterval is the Controller baseline's refresh period.
 	ControllerInterval simtime.Duration
+
+	// Containers, when non-nil, replaces uniform VM placement with a
+	// container deployment (internal/containers): Spec.PerHost containers
+	// on every server, placed through the vnet churn APIs with services
+	// striped across tenants, and the workload generated from the
+	// deployment's service mesh instead of TraceName. VMs is derived from
+	// the deployment size.
+	Containers *containers.Spec
+
+	// HostTTL sets the host-cache schemes' entry TTL (hostcache,
+	// hosttor); 0 = entries never expire.
+	HostTTL simtime.Duration
+	// HostSplit is the fraction of the aggregate cache budget given to
+	// the host tier in the hosttor hybrid (default 0.5; hostcache always
+	// gets the whole budget).
+	HostSplit float64
 
 	// ActiveGateways restricts the gateway pool (Fig. 9); 0 = all.
 	ActiveGateways int
@@ -228,6 +247,11 @@ type Report struct {
 	// CoreStats is present for SwitchV2P runs (Table 5 attribution).
 	CoreStats *core.Stats
 
+	// HostStats is present for the host-cache scheme family (hostcache,
+	// hosttor): host-tier hits, installs, evictions, TTL expiries and
+	// host-layer invalidations.
+	HostStats *baselines.HostStats
+
 	// Telemetry holds the run's collected observability data when
 	// Config.Telemetry was set; nil otherwise.
 	Telemetry *telemetry.Collector
@@ -334,6 +358,28 @@ func BuildScheme(cfg Config, topo *topology.Topology) (simnet.Scheme, error) {
 		// Hoverboard-style offload after 20 packets; millisecond-scale
 		// rule installation as in Zeta/Achelous.
 		return baselines.NewHybrid(topo, opts, 20, simtime.Millisecond), nil
+	case SchemeHostCache:
+		// The whole budget goes to the hosts, divided evenly: per-host
+		// hardware capacity is uniform, so small aggregate budgets can
+		// floor to zero entries per host — exactly the regime where
+		// in-switch aggregation wins the crossover.
+		opt := baselines.DefaultHostTierOptions(total / len(topo.Servers()))
+		opt.TTL = cfg.HostTTL
+		return baselines.NewHostCache(topo, opt), nil
+	case SchemeHostToR:
+		// Split the budget between the host tier and a ToR-only
+		// SwitchV2P tier.
+		split := cfg.HostSplit
+		if split <= 0 || split >= 1 {
+			split = 0.5
+		}
+		hostBudget := int(float64(total) * split)
+		opts := core.DefaultOptions(0)
+		opts.SizeFor = core.AllocToROnly(topo, total-hostBudget)
+		opts.Seed = cfg.Seed
+		opt := baselines.DefaultHostTierOptions(hostBudget / len(topo.Servers()))
+		opt.TTL = cfg.HostTTL
+		return baselines.NewHostToR(topo, opts, opt), nil
 	default:
 		return nil, fmt.Errorf("harness: unknown scheme %q", cfg.Scheme)
 	}
@@ -347,8 +393,22 @@ func Build(cfg Config) (*World, error) {
 		return nil, err
 	}
 	net := vnet.New(topo)
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	vips := net.PlaceUniform(cfg.VMs, rng)
+	var vips []netaddr.VIP
+	var dep *containers.Deployment
+	if cfg.Containers != nil {
+		// Container deployment: density-driven placement through the vnet
+		// churn APIs replaces uniform placement, and VMs is derived from
+		// the deployment before BuildScheme sizes the caches against it.
+		dep, err = containers.Place(net, *cfg.Containers, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		vips = dep.VIPs
+		cfg.VMs = len(vips)
+	} else {
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		vips = net.PlaceUniform(cfg.VMs, rng)
+	}
 
 	scheme, err := BuildScheme(cfg, topo)
 	if err != nil {
@@ -389,11 +449,7 @@ func Build(cfg Config) (*World, error) {
 
 	workload := cfg.Workload
 	if workload == nil {
-		gen := trace.Generators[cfg.TraceName]
-		if gen == nil {
-			return nil, fmt.Errorf("harness: unknown trace %q", cfg.TraceName)
-		}
-		workload, err = gen(trace.Config{
+		traceCfg := trace.Config{
 			VIPs:        vips,
 			Servers:     len(topo.Servers()),
 			HostLinkBps: cfg.Topo.HostLinkBps,
@@ -401,7 +457,16 @@ func Build(cfg Config) (*World, error) {
 			Duration:    cfg.Duration,
 			MaxFlows:    cfg.MaxFlows,
 			Seed:        cfg.Seed,
-		})
+		}
+		if dep != nil {
+			workload, err = dep.Workload(traceCfg)
+		} else {
+			gen := trace.Generators[cfg.TraceName]
+			if gen == nil {
+				return nil, fmt.Errorf("harness: unknown trace %q", cfg.TraceName)
+			}
+			workload, err = gen(traceCfg)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -473,6 +538,14 @@ func (w *World) Report() *Report {
 	case *baselines.Hybrid:
 		stats := s.Scheme.S
 		r.CoreStats = &stats
+	case *baselines.HostCache:
+		hs := *s.HostStats()
+		r.HostStats = &hs
+	case *baselines.HostToR:
+		stats := s.Scheme.S
+		r.CoreStats = &stats
+		hs := *s.HostStats()
+		r.HostStats = &hs
 	}
 	r.Telemetry = w.Telem
 	return r

@@ -25,6 +25,7 @@ func TestSystemInvariantsUnderRandomScenarios(t *testing.T) {
 	schemes := []string{
 		SchemeSwitchV2P, SchemeNoCache, SchemeLocalLearning, SchemeGwCache,
 		SchemeOnDemand, SchemeDirect, SchemeController, SchemeHybrid,
+		SchemeHostCache, SchemeHostToR,
 	}
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
@@ -125,6 +126,7 @@ func TestSystemInvariantsUnderFaultSchedules(t *testing.T) {
 	schemes := []string{
 		SchemeSwitchV2P, SchemeNoCache, SchemeLocalLearning, SchemeGwCache,
 		SchemeOnDemand, SchemeDirect, SchemeController, SchemeHybrid,
+		SchemeHostCache, SchemeHostToR,
 	}
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))

@@ -137,11 +137,57 @@ func TestShardFaultScheduleDeterministic(t *testing.T) {
 // with a descriptive error at build time, not a corrupt result at run
 // time.
 func TestShardRejectsUnsupportedScheme(t *testing.T) {
-	for _, scheme := range []string{SchemeLocalLearning, SchemeOnDemand, SchemeBluebird, SchemeController, SchemeHybrid} {
+	// The host-cache family (hostcache, hosttor) runs unsharded for now:
+	// the host tier's pending-install maps and LRU lists are global
+	// per-event mutable state, so the schemes are deliberately absent
+	// from the ShardSupported whitelist until they grow per-shard slots.
+	for _, scheme := range []string{
+		SchemeLocalLearning, SchemeOnDemand, SchemeBluebird,
+		SchemeController, SchemeHybrid, SchemeHostCache, SchemeHostToR,
+	} {
 		cfg := quickConfig(scheme)
 		cfg.Shards = 2
 		if _, err := Build(cfg); err == nil {
 			t.Errorf("%s: sharded build succeeded, want a whitelist error", scheme)
+		}
+	}
+}
+
+// TestForSchemeDegradesShards pins the sweep helpers' best-effort
+// contract: forScheme keeps a base config's Shards request for
+// whitelisted schemes and silently drops it (falling back to the serial
+// engine) for serial-only schemes — including the host-cache family —
+// so mixed-scheme sweeps build instead of erroring.
+func TestForSchemeDegradesShards(t *testing.T) {
+	base := quickConfig(SchemeSwitchV2P)
+	base.Shards = 4
+	base.ShardOracle = true
+	for _, tc := range []struct {
+		scheme  string
+		sharded bool
+	}{
+		{SchemeSwitchV2P, true},
+		{SchemeNoCache, true},
+		{SchemeDirect, true},
+		{SchemeGwCache, true},
+		{SchemeHybrid, false},
+		{SchemeHostCache, false},
+		{SchemeHostToR, false},
+	} {
+		got := base.forScheme(tc.scheme)
+		if got.Scheme != tc.scheme {
+			t.Errorf("forScheme(%s).Scheme = %s", tc.scheme, got.Scheme)
+		}
+		if tc.sharded && (got.Shards != 4 || !got.ShardOracle) {
+			t.Errorf("%s: forScheme dropped shards for a whitelisted scheme", tc.scheme)
+		}
+		if !tc.sharded && (got.Shards != 0 || got.ShardOracle) {
+			t.Errorf("%s: forScheme kept Shards=%d ShardOracle=%v for a serial-only scheme",
+				tc.scheme, got.Shards, got.ShardOracle)
+		}
+		// The degraded config must actually build.
+		if _, err := Build(got); err != nil {
+			t.Errorf("%s: degraded build failed: %v", tc.scheme, err)
 		}
 	}
 }

@@ -70,11 +70,23 @@ for phase in morning-ramp midday-churn migration-storm gateway-autoscale rolling
 done
 echo "$scenario_out" | grep -Eq 'pass|FAIL' || { echo "scenario smoke: no SLO verdicts in output"; exit 1; }
 
-echo "== bench snapshots (BENCH_engine.json, BENCH_scenario.json, BENCH_lint.json) =="
+echo "== container crossover smoke =="
+# Quick-scale host/ToR crossover: the container-overlay workload swept
+# over density × reuse × cache size for the full comparison set. Assert
+# every scheme produced its SLO row — a missing row means a scheme
+# errored or fell out of the sweep.
+crossover_out="$(go run ./cmd/experiments -container-crossover -scale quick -parallel)"
+for scheme in switchv2p hostcache hosttor nocache gwcache; do
+  echo "$crossover_out" | grep -Eq "^${scheme}[[:space:]]+SLO=" \
+    || { echo "crossover smoke: no SLO row for scheme $scheme"; exit 1; }
+done
+
+echo "== bench snapshots (BENCH_engine.json, BENCH_scenario.json, BENCH_workload.json, BENCH_lint.json) =="
 # Machine-readable perf trajectory: engine event throughput (the
 # BenchmarkEngineEventsPerSec measurement), the quick production-day
-# cost, and the full-module v2plint cost per analyzer. Committing the
-# refreshed files records the trend over time.
+# cost, container-trace generation throughput, and the full-module
+# v2plint cost per analyzer. Committing the refreshed files records the
+# trend over time.
 go run ./cmd/benchsnap -out .
 
 echo "CI OK"

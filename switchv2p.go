@@ -171,6 +171,8 @@ const (
 	SchemeDirect        = harness.SchemeDirect
 	SchemeController    = harness.SchemeController
 	SchemeHybrid        = harness.SchemeHybrid
+	SchemeHostCache     = harness.SchemeHostCache
+	SchemeHostToR       = harness.SchemeHostToR
 )
 
 // AllSchemes lists every supported scheme name.
