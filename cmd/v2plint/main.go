@@ -8,10 +8,16 @@
 //	go run ./cmd/v2plint -fix ./...             # apply suggested fixes in place
 //	go run ./cmd/v2plint -time ./...            # per-analyzer wall time on stderr
 //	go run ./cmd/v2plint -jsonfile out.json ./... # plain text on stdout, JSON to a file
+//	go run ./cmd/v2plint -cache ./...           # incremental: unchanged packages replay from cache
 //
 // All requested packages are loaded into one call-graph Program, so the
-// interprocedural analyzers (hotpathreach, workersafe, planpure) see
-// cross-package edges and interface implementations.
+// interprocedural analyzers (hotpathreach, workersafe, planpure,
+// detflow, shardstate) see cross-package edges and interface
+// implementations. With -cache, unchanged packages (keyed by a content
+// hash of their sources, their dependency cone, and the tool binary)
+// replay stored findings without being type-checked, and edited ones
+// are analyzed per package against cached fact summaries — vettool
+// semantics; see internal/analysis/v2plint/cache.go.
 //
 // Under the standard vet driver:
 //
@@ -30,7 +36,6 @@ import (
 	"crypto/sha256"
 	"encoding/json"
 	"fmt"
-	"go/token"
 	"io"
 	"os"
 	"path/filepath"
@@ -61,8 +66,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return v2plint.RunVetTool(args[0], stderr)
 		}
 	}
-	var jsonOut, applyFixes, showTime bool
-	var jsonFile string
+	var jsonOut, applyFixes, showTime, useCache bool
+	var jsonFile, cacheDir string
 	var patterns []string
 	for i := 0; i < len(args); i++ {
 		a := args[i]
@@ -73,6 +78,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 			applyFixes = true
 		case a == "-time" || a == "--time":
 			showTime = true
+		case a == "-cache" || a == "--cache":
+			useCache = true
+		case a == "-cachedir" || a == "--cachedir":
+			if i+1 >= len(args) {
+				fmt.Fprintln(stderr, "v2plint: -cachedir needs a path")
+				return 1
+			}
+			i++
+			cacheDir = args[i]
+			useCache = true
+		case strings.HasPrefix(a, "-cachedir="):
+			cacheDir = strings.TrimPrefix(a, "-cachedir=")
+			useCache = true
 		case a == "-jsonfile" || a == "--jsonfile":
 			if i+1 >= len(args) {
 				fmt.Fprintln(stderr, "v2plint: -jsonfile needs a path")
@@ -93,6 +111,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 			patterns = append(patterns, a)
 		}
+	}
+
+	if useCache && applyFixes {
+		// Fixes rewrite sources mid-run; entries written before the
+		// rewrite would be stale the moment it lands.
+		fmt.Fprintln(stderr, "v2plint: -fix disables the cache")
+		useCache = false
+	}
+	if useCache {
+		if cacheDir == "" {
+			base, err := os.UserCacheDir()
+			if err != nil {
+				fmt.Fprintf(stderr, "v2plint: %v (pass -cachedir)\n", err)
+				return 1
+			}
+			cacheDir = filepath.Join(base, "v2plint")
+		}
+		return runCached(patterns, cacheDir, jsonOut, jsonFile, showTime, stdout, stderr)
 	}
 
 	pkgs, err := v2plint.LoadPackages("", patterns)
@@ -155,9 +191,32 @@ func run(args []string, stdout, stderr io.Writer) int {
 		diags = rest
 	}
 
+	return emit(v2plint.FindingsFromDiagnostics(fs, diags), jsonOut, jsonFile, stdout, stderr)
+}
+
+// runCached is the incremental driver path: unchanged packages replay
+// their findings from the content-hashed cache; edited ones (and their
+// dependents) are analyzed vettool-style and re-stored.
+func runCached(patterns []string, cacheDir string, jsonOut bool, jsonFile string, showTime bool, stdout, stderr io.Writer) int {
+	findings, stats, timings, err := v2plint.RunCached("", patterns, v2plint.Analyzers(), cacheDir, showTime)
+	if err != nil {
+		fmt.Fprintf(stderr, "v2plint: %v\n", err)
+		return 1
+	}
+	if showTime {
+		printTimings(stderr, timings)
+	}
+	fmt.Fprintf(stderr, "v2plint: cache %d/%d package(s) hit, %d analyzed\n", stats.Hits, stats.Packages, stats.Misses)
+	return emit(findings, jsonOut, jsonFile, stdout, stderr)
+}
+
+// emit renders the globally sorted findings — text or JSON, optionally
+// mirrored to -jsonfile — and returns the process exit code.
+func emit(findings []v2plint.Finding, jsonOut bool, jsonFile string, stdout, stderr io.Writer) int {
+	v2plint.SortFindings(findings)
 	if jsonFile != "" {
 		var buf bytes.Buffer
-		if err := encodeFindings(&buf, fs, diags); err != nil {
+		if err := encodeFindings(&buf, findings); err != nil {
 			fmt.Fprintf(stderr, "v2plint: %v\n", err)
 			return 1
 		}
@@ -167,49 +226,31 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	if jsonOut {
-		if err := encodeFindings(stdout, fs, diags); err != nil {
+		if err := encodeFindings(stdout, findings); err != nil {
 			fmt.Fprintf(stderr, "v2plint: %v\n", err)
 			return 1
 		}
 	} else {
 		// file:line:col relative to the working directory — the format
 		// .github/v2plint-problem-matcher.json turns into annotations.
-		for _, d := range diags {
-			pos := fs.Position(d.Pos)
-			fmt.Fprintf(stdout, "%s:%d:%d: %s: %s\n", relPath(pos.Filename), pos.Line, pos.Column, d.Analyzer, d.Message)
+		for _, f := range findings {
+			fmt.Fprintf(stdout, "%s:%d:%d: %s: %s\n", relPath(f.File), f.Line, f.Col, f.Analyzer, f.Message)
 		}
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(stderr, "v2plint: %d finding(s)\n", len(diags))
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "v2plint: %d finding(s)\n", len(findings))
 		return 2
 	}
 	return 0
 }
 
-// encodeFindings writes the diagnostics as the indented JSON array that
-// -json prints and -jsonfile persists for CI artifacts.
-func encodeFindings(w io.Writer, fs *token.FileSet, diags []v2plint.Diagnostic) error {
-	type finding struct {
-		File     string `json:"file"`
-		Line     int    `json:"line"`
-		Col      int    `json:"col"`
-		Analyzer string `json:"analyzer"`
-		Message  string `json:"message"`
-		Fix      string `json:"fix,omitempty"`
-	}
-	out := make([]finding, 0, len(diags))
-	for _, d := range diags {
-		pos := fs.Position(d.Pos)
-		f := finding{
-			File:     relPath(pos.Filename),
-			Line:     pos.Line,
-			Col:      pos.Column,
-			Analyzer: d.Analyzer,
-			Message:  d.Message,
-		}
-		if len(d.Fixes) > 0 {
-			f.Fix = d.Fixes[0].Message
-		}
+// encodeFindings writes the findings as the indented JSON array that
+// -json prints and -jsonfile persists for CI artifacts, with paths
+// shortened relative to the working directory.
+func encodeFindings(w io.Writer, findings []v2plint.Finding) error {
+	out := make([]v2plint.Finding, 0, len(findings))
+	for _, f := range findings {
+		f.File = relPath(f.File)
 		out = append(out, f)
 	}
 	enc := json.NewEncoder(w)
@@ -250,11 +291,13 @@ func relPath(file string) string {
 }
 
 func usage(w io.Writer) {
-	fmt.Fprintln(w, "usage: v2plint [-json] [-jsonfile path] [-fix] [-time] [packages]")
+	fmt.Fprintln(w, "usage: v2plint [-json] [-jsonfile path] [-fix] [-time] [-cache] [-cachedir path] [packages]")
 	fmt.Fprintln(w, "  -json           emit findings as a JSON array (file/line/col/analyzer/message/fix)")
 	fmt.Fprintln(w, "  -jsonfile path  write the JSON array to path while keeping plain text on stdout")
 	fmt.Fprintln(w, "  -fix            apply suggested fixes in place; unfixable findings still fail")
 	fmt.Fprintln(w, "  -time           report per-analyzer wall time on stderr")
+	fmt.Fprintln(w, "  -cache          replay unchanged packages from the content-hashed cache")
+	fmt.Fprintln(w, "  -cachedir path  cache location (implies -cache; default os.UserCacheDir()/v2plint)")
 	fmt.Fprintln(w, "\nAnalyzers:")
 	for _, a := range v2plint.Analyzers() {
 		fmt.Fprintf(w, "  %-14s %s\n", a.Name, a.Doc)

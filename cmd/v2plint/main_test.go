@@ -8,6 +8,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"switchv2p/internal/analysis/v2plint"
 )
 
 // TestRepoIsClean is the acceptance smoke test: the whole module must
@@ -76,6 +78,67 @@ func TestJSONFileOutput(t *testing.T) {
 	}
 	if out := stdout.String(); out != "" {
 		t.Fatalf("stdout = %q, want empty plain-text output on a clean run", out)
+	}
+}
+
+// TestEmitGloballySorted pins the output-ordering contract: findings
+// are rendered sorted by (file, line, column, analyzer) across
+// packages, in both the plain-text and JSON formats, whatever order
+// the analysis (or the cache replay) produced them in.
+func TestEmitGloballySorted(t *testing.T) {
+	unsorted := []v2plint.Finding{
+		{File: "/b/late.go", Line: 3, Col: 1, Analyzer: "wallclock", Message: "m4"},
+		{File: "/a/early.go", Line: 10, Col: 2, Analyzer: "detflow", Message: "m2"},
+		{File: "/a/early.go", Line: 10, Col: 2, Analyzer: "allowreason", Message: "m1"},
+		{File: "/a/early.go", Line: 10, Col: 9, Analyzer: "detrange", Message: "m3"},
+	}
+	var stdout, stderr bytes.Buffer
+	if code := emit(append([]v2plint.Finding(nil), unsorted...), false, "", &stdout, &stderr); code != 2 {
+		t.Fatalf("emit with findings: exit %d, want 2", code)
+	}
+	var got []string
+	for _, line := range strings.Split(strings.TrimSpace(stdout.String()), "\n") {
+		got = append(got, line[strings.LastIndex(line, "m"):])
+	}
+	want := []string{"m1", "m2", "m3", "m4"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("text output order = %v, want %v", got, want)
+	}
+
+	stdout.Reset()
+	if code := emit(append([]v2plint.Finding(nil), unsorted...), true, "", &stdout, &stderr); code != 2 {
+		t.Fatalf("emit -json with findings: exit %d, want 2", code)
+	}
+	var decoded []v2plint.Finding
+	if err := json.Unmarshal(stdout.Bytes(), &decoded); err != nil {
+		t.Fatalf("-json output: %v", err)
+	}
+	for i, f := range decoded {
+		if f.Message != want[i] {
+			t.Fatalf("json output order: got %s at %d, want %s", f.Message, i, want[i])
+		}
+	}
+}
+
+// TestCacheFlagDriver runs the cached path end to end on a real repo
+// package: cold then warm, clean both times, with the warm run a full
+// replay.
+func TestCacheFlagDriver(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs go list -export")
+	}
+	cacheDir := filepath.Join(t.TempDir(), "cache")
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-cachedir", cacheDir, "switchv2p/internal/simtime"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("cold cached run: exit %d\n%s%s", code, stdout.String(), stderr.String())
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-cachedir", cacheDir, "switchv2p/internal/simtime"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("warm cached run: exit %d\n%s%s", code, stdout.String(), stderr.String())
+	}
+	if msg := stderr.String(); !strings.Contains(msg, "cache 1/1 package(s) hit, 0 analyzed") {
+		t.Fatalf("warm run stats line missing full hit: %q", msg)
 	}
 }
 

@@ -1,0 +1,408 @@
+package v2plint
+
+// This file implements the incremental analysis cache behind
+// `cmd/v2plint -cache`: per-package content-hashed caching of findings
+// and call-graph fact summaries, layered on the same vetx
+// export/import machinery the `go vet -vettool=` protocol uses.
+//
+// Each package's cache key is a SHA-256 over
+//
+//   - a format-version string and a fingerprint of the tool binary
+//     (any change to the analyzers invalidates everything),
+//   - the package's import path and the name and content of each of
+//     its Go files,
+//   - the key of every direct import — recursively, so an edit
+//     anywhere in the dependency cone changes the key. Imports outside
+//     the lint target set (the standard library, dep-only packages)
+//     contribute a hash of their compiler export data instead, which
+//     go list provides and which changes whenever their API or
+//     implementation does.
+//
+// A hit replays the stored findings and reuses the stored fact
+// summaries without parsing or type-checking the package — on a no-op
+// rebuild the whole run degenerates to `go list` plus file hashing. A
+// miss type-checks the single package against compiler export data,
+// imports the fact summaries of its in-target dependencies (cached or
+// freshly computed this run), analyzes, and stores findings + facts.
+//
+// Cached analysis therefore has vettool semantics, not whole-Program
+// semantics: interface call sites resolve against the package's own
+// declarations plus imported summaries, so an implementor in an
+// unrelated (non-dependency) package is not seen. The default
+// standalone driver — and CI's build-failing lint run — still loads
+// everything into one Program; the cache trades that last bit of
+// cross-package resolution for incremental latency, and hot and cold
+// cached runs always agree with each other. DESIGN.md §8 records the
+// tradeoff.
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+)
+
+// cacheFormat invalidates every entry when the on-disk schema changes.
+const cacheFormat = "v2plint-cache-v1"
+
+// CacheStats counts per-run cache outcomes for the stats line,
+// BENCH_lint.json, and the CI artifact.
+type CacheStats struct {
+	Packages int `json:"packages"`
+	Hits     int `json:"hits"`
+	Misses   int `json:"misses"`
+}
+
+// HitRate returns hits/packages in [0,1].
+func (s CacheStats) HitRate() float64 {
+	if s.Packages == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Packages)
+}
+
+// A Finding is one position-resolved diagnostic: what a Diagnostic
+// becomes once it no longer has a live token.FileSet behind it, and
+// the unit cached entries store and replay.
+type Finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+	Fix      string `json:"fix,omitempty"`
+}
+
+// FindingsFromDiagnostics resolves diagnostics against their FileSet.
+// The input order is preserved (Program.Run already sorts one
+// Program's diagnostics by file, line, column, analyzer).
+func FindingsFromDiagnostics(fset *token.FileSet, diags []Diagnostic) []Finding {
+	out := make([]Finding, 0, len(diags))
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		f := Finding{
+			File:     pos.Filename,
+			Line:     pos.Line,
+			Col:      pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		}
+		if len(d.Fixes) > 0 {
+			f.Fix = d.Fixes[0].Message
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// SortFindings orders findings globally by (file, line, column,
+// analyzer) — the ordering contract of cmd/v2plint's text and JSON
+// output across packages, whatever mix of cached and fresh results
+// produced them.
+func SortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}
+
+// cacheEntry is the on-disk record for one package at one key.
+type cacheEntry struct {
+	Format     string          `json:"format"`
+	ImportPath string          `json:"importpath"`
+	Findings   []Finding       `json:"findings"`
+	Facts      json.RawMessage `json:"facts,omitempty"`
+}
+
+// RunCached lints the packages matched by patterns through the cache
+// rooted at cacheDir, returning the globally sorted findings, the
+// hit/miss stats, and (when timings is true) the per-analyzer wall
+// times summed over the packages analyzed this run.
+func RunCached(dir string, patterns []string, analyzers []*Analyzer, cacheDir string, timings bool) ([]Finding, CacheStats, map[string]time.Duration, error) {
+	var stats CacheStats
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	if err := os.MkdirAll(cacheDir, 0o755); err != nil {
+		return nil, stats, nil, err
+	}
+	pkgs, err := listPackages(dir, patterns)
+	if err != nil {
+		return nil, stats, nil, err
+	}
+	byPath := map[string]*listPkg{}
+	var targets []*listPkg
+	for _, p := range pkgs {
+		byPath[p.ImportPath] = p
+		if !p.DepOnly && len(p.GoFiles) > 0 {
+			targets = append(targets, p)
+		}
+	}
+	stats.Packages = len(targets)
+	targetSet := map[string]bool{}
+	for _, t := range targets {
+		targetSet[t.ImportPath] = true
+	}
+
+	fp, err := toolFingerprint()
+	if err != nil {
+		return nil, stats, nil, err
+	}
+	keys := map[string]string{}
+	for _, t := range targets {
+		if _, err := cacheKey(t.ImportPath, byPath, targetSet, fp, keys); err != nil {
+			return nil, stats, nil, err
+		}
+	}
+
+	// Dependency-first order, so a miss can import the facts of every
+	// in-target dependency already processed this run.
+	order := topoTargets(targets, byPath, targetSet)
+
+	var all []Finding
+	facts := map[string][]byte{}
+	sumTimings := map[string]time.Duration{}
+	for _, t := range order {
+		key := keys[t.ImportPath]
+		entryPath := filepath.Join(cacheDir, key+".json")
+		if entry, ok := readEntry(entryPath, t.ImportPath); ok {
+			stats.Hits++
+			all = append(all, entry.Findings...)
+			if len(entry.Facts) > 0 {
+				facts[t.ImportPath] = entry.Facts
+			}
+			continue
+		}
+		stats.Misses++
+		found, pkgFacts, err := analyzeOne(t, byPath, targetSet, facts, analyzers, timings, sumTimings)
+		if err != nil {
+			return nil, stats, nil, err
+		}
+		all = append(all, found...)
+		if len(pkgFacts) > 0 {
+			facts[t.ImportPath] = pkgFacts
+		}
+		entry := &cacheEntry{Format: cacheFormat, ImportPath: t.ImportPath, Findings: found, Facts: pkgFacts}
+		if err := writeEntry(entryPath, entry); err != nil {
+			return nil, stats, nil, err
+		}
+	}
+	SortFindings(all)
+	return all, stats, sumTimings, nil
+}
+
+// analyzeOne type-checks and analyzes a single cache-miss package with
+// its in-target dependencies' fact summaries imported, vettool-style.
+func analyzeOne(t *listPkg, byPath map[string]*listPkg, targetSet map[string]bool, facts map[string][]byte, analyzers []*Analyzer, timings bool, sumTimings map[string]time.Duration) ([]Finding, []byte, error) {
+	fset := token.NewFileSet()
+	imp := exportDataImporter(fset, func(path string) string {
+		if p := byPath[path]; p != nil {
+			return p.Export
+		}
+		return ""
+	})
+	lp, err := checkPackage(fset, imp, t.ImportPath, t.Dir, t.GoFiles)
+	if err != nil {
+		return nil, nil, err
+	}
+	prog := NewProgram(fset)
+	if timings {
+		prog.EnableTimings()
+	}
+	// Import the facts of every in-target package in the transitive
+	// dependency cone (sorted for determinism), then add the local
+	// package: local declarations override imported summaries.
+	deps := transitiveDeps(t.ImportPath, byPath)
+	sort.Strings(deps)
+	for _, dep := range deps {
+		if f := facts[dep]; len(f) > 0 {
+			if err := prog.ImportSummaries(f); err != nil {
+				return nil, nil, fmt.Errorf("%s: importing facts of %s: %w", t.ImportPath, dep, err)
+			}
+		}
+	}
+	prog.Add(lp.Files, lp.Pkg, lp.Info)
+	diags := prog.Run(analyzers)
+	for name, d := range prog.Timings() {
+		sumTimings[name] += d
+	}
+	pkgFacts, err := prog.ExportSummaries(t.ImportPath)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s: exporting facts: %w", t.ImportPath, err)
+	}
+	return FindingsFromDiagnostics(fset, diags), pkgFacts, nil
+}
+
+// cacheKey computes (and memoizes) one package's content-hashed key.
+func cacheKey(path string, byPath map[string]*listPkg, targetSet map[string]bool, fingerprint string, memo map[string]string) (string, error) {
+	if k, ok := memo[path]; ok {
+		return k, nil
+	}
+	// Break import cycles defensively (the go toolchain rejects them,
+	// so this only guards against malformed go list output).
+	memo[path] = "cycle"
+	p := byPath[path]
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\n%s\n%s\n", cacheFormat, fingerprint, path)
+	if p == nil || !targetSet[path] {
+		// Outside the target set: the compiler export data stands in
+		// for the sources — it changes whenever the package does.
+		if p != nil && p.Export != "" {
+			if err := hashFile(h, p.Export); err != nil {
+				return "", err
+			}
+		}
+		k := fmt.Sprintf("%x", h.Sum(nil))
+		memo[path] = k
+		return k, nil
+	}
+	for _, name := range p.GoFiles {
+		file := name
+		if !filepath.IsAbs(file) {
+			file = filepath.Join(p.Dir, file)
+		}
+		fmt.Fprintf(h, "file %s\n", name)
+		if err := hashFile(h, file); err != nil {
+			return "", err
+		}
+	}
+	imports := append([]string(nil), p.Imports...)
+	sort.Strings(imports)
+	for _, dep := range imports {
+		dk, err := cacheKey(dep, byPath, targetSet, fingerprint, memo)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(h, "dep %s %s\n", dep, dk)
+	}
+	k := fmt.Sprintf("%x", h.Sum(nil))
+	memo[path] = k
+	return k, nil
+}
+
+func hashFile(w io.Writer, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = io.Copy(w, f)
+	return err
+}
+
+// toolFingerprint hashes the running executable so rebuilding the
+// analyzers invalidates every cached entry, mirroring the content id
+// the -V=full vet probe reports.
+func toolFingerprint() (string, error) {
+	exe, err := os.Executable()
+	if err != nil {
+		return "", err
+	}
+	h := sha256.New()
+	if err := hashFile(h, exe); err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)), nil
+}
+
+// topoTargets orders the targets dependency-first.
+func topoTargets(targets []*listPkg, byPath map[string]*listPkg, targetSet map[string]bool) []*listPkg {
+	sorted := append([]*listPkg(nil), targets...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ImportPath < sorted[j].ImportPath })
+	var order []*listPkg
+	state := map[string]int{} // 0 unvisited, 1 visiting, 2 done
+	var visit func(string)
+	visit = func(path string) {
+		if state[path] != 0 || !targetSet[path] {
+			return
+		}
+		state[path] = 1
+		p := byPath[path]
+		imports := append([]string(nil), p.Imports...)
+		sort.Strings(imports)
+		for _, dep := range imports {
+			visit(dep)
+		}
+		state[path] = 2
+		order = append(order, p)
+	}
+	for _, t := range sorted {
+		visit(t.ImportPath)
+	}
+	return order
+}
+
+// transitiveDeps returns every import path reachable from the package.
+func transitiveDeps(path string, byPath map[string]*listPkg) []string {
+	seen := map[string]bool{}
+	var out []string
+	var visit func(string)
+	visit = func(p string) {
+		pkg := byPath[p]
+		if pkg == nil {
+			return
+		}
+		for _, dep := range pkg.Imports {
+			if !seen[dep] {
+				seen[dep] = true
+				out = append(out, dep)
+				visit(dep)
+			}
+		}
+	}
+	visit(path)
+	return out
+}
+
+func readEntry(path, importPath string) (*cacheEntry, bool) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false
+	}
+	var e cacheEntry
+	if json.Unmarshal(data, &e) != nil || e.Format != cacheFormat || e.ImportPath != importPath {
+		return nil, false
+	}
+	if e.Findings == nil {
+		e.Findings = []Finding{}
+	}
+	return &e, true
+}
+
+func writeEntry(path string, e *cacheEntry) error {
+	if e.Findings == nil {
+		e.Findings = []Finding{}
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(e); err != nil {
+		return err
+	}
+	// Write-then-rename so a crashed run never leaves a torn entry a
+	// later run would misparse (readEntry treats malformed as a miss
+	// anyway, but the rename keeps the directory tidy).
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, buf.Bytes(), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}

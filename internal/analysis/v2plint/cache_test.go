@@ -1,0 +1,137 @@
+package v2plint
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeCacheModule lays out a two-package throwaway module: dep is a
+// clean helper, the root package draws from the global math/rand
+// generator so every run reports exactly one globalrand finding.
+func writeCacheModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module cachetest\n\ngo 1.22\n",
+		"dep/dep.go": "// Package dep is a clean dependency.\n" +
+			"package dep\n\n" +
+			"// Choice doubles n.\n" +
+			"func Choice(n int) int { return n * 2 }\n",
+		"cachetest.go": "// Package cachetest trips globalrand.\n" +
+			"package cachetest\n\n" +
+			"import (\n\t\"math/rand\"\n\n\t\"cachetest/dep\"\n)\n\n" +
+			"// Pick draws from the shared generator (the finding under test).\n" +
+			"func Pick() int { return dep.Choice(rand.Intn(9)) }\n",
+	}
+	for name, content := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func runCachedModule(t *testing.T, dir, cacheDir string) ([]Finding, CacheStats) {
+	t.Helper()
+	findings, stats, _, err := RunCached(dir, []string{"./..."}, Analyzers(), cacheDir, false)
+	if err != nil {
+		t.Fatalf("RunCached: %v", err)
+	}
+	return findings, stats
+}
+
+func TestCacheHitAfterNoopRebuild(t *testing.T) {
+	dir := writeCacheModule(t)
+	cacheDir := t.TempDir()
+
+	cold, coldStats := runCachedModule(t, dir, cacheDir)
+	if coldStats.Packages != 2 || coldStats.Misses != 2 || coldStats.Hits != 0 {
+		t.Fatalf("cold stats = %+v, want 2 packages, 2 misses, 0 hits", coldStats)
+	}
+	if len(cold) != 1 || cold[0].Analyzer != "globalrand" {
+		t.Fatalf("cold findings = %+v, want one globalrand finding", cold)
+	}
+
+	warm, warmStats := runCachedModule(t, dir, cacheDir)
+	if warmStats.Hits != 2 || warmStats.Misses != 0 {
+		t.Fatalf("warm stats = %+v, want 2 hits, 0 misses", warmStats)
+	}
+	// Byte-identical findings hot vs cold: the replayed output must be
+	// indistinguishable from the freshly analyzed one.
+	coldJSON, err := json.Marshal(cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmJSON, err := json.Marshal(warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(coldJSON) != string(warmJSON) {
+		t.Fatalf("hot/cold findings differ:\ncold: %s\nwarm: %s", coldJSON, warmJSON)
+	}
+}
+
+func TestCacheInvalidationOnSourceEdit(t *testing.T) {
+	dir := writeCacheModule(t)
+	cacheDir := t.TempDir()
+	runCachedModule(t, dir, cacheDir)
+
+	// Add a second draw: the root package must re-analyze and the new
+	// finding must appear; the untouched dependency stays cached.
+	path := filepath.Join(dir, "cachetest.go")
+	src, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edited := strings.Replace(string(src),
+		"func Pick() int { return dep.Choice(rand.Intn(9)) }",
+		"func Pick() int { return dep.Choice(rand.Intn(9)) }\n\n// Again draws once more.\nfunc Again() int { return rand.Int() }",
+		1)
+	if edited == string(src) {
+		t.Fatal("edit did not apply")
+	}
+	if err := os.WriteFile(path, []byte(edited), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	findings, stats := runCachedModule(t, dir, cacheDir)
+	if stats.Hits != 1 || stats.Misses != 1 {
+		t.Fatalf("post-edit stats = %+v, want 1 hit (dep), 1 miss (root)", stats)
+	}
+	if len(findings) != 2 {
+		t.Fatalf("post-edit findings = %+v, want 2 globalrand findings", findings)
+	}
+}
+
+func TestCacheInvalidationOnDependencyEdit(t *testing.T) {
+	dir := writeCacheModule(t)
+	cacheDir := t.TempDir()
+	runCachedModule(t, dir, cacheDir)
+
+	// Editing the dependency must invalidate it AND its dependent: the
+	// root's key folds in dep's key.
+	path := filepath.Join(dir, "dep", "dep.go")
+	if f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0); err != nil {
+		t.Fatal(err)
+	} else {
+		if _, err := f.WriteString("\n// Tick is new API.\nfunc Tick() int { return 1 }\n"); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+
+	findings, stats := runCachedModule(t, dir, cacheDir)
+	if stats.Hits != 0 || stats.Misses != 2 {
+		t.Fatalf("post-dep-edit stats = %+v, want 0 hits, 2 misses", stats)
+	}
+	if len(findings) != 1 || findings[0].Analyzer != "globalrand" {
+		t.Fatalf("post-dep-edit findings = %+v, want the original globalrand finding", findings)
+	}
+}

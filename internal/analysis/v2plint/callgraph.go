@@ -113,6 +113,13 @@ type funcNode struct {
 	direct [numEffects][]*transEffect // every direct occurrence, source order
 	calls  []*callSite
 	trans  [numEffects]*transEffect // transitive summary, set by collapse
+
+	// Taint summaries, set by computeTaint (dataflow.go) and exchanged
+	// through the .vetx facts for imported nodes.
+	retTaint  *taintVal        // results carry taint from a source
+	paramRet  map[int]bool     // parameter i flows to a result
+	paramSink map[int]*sinkVal // parameter i reaches a sink
+	flowFinds []*flowFinding   // witnessed source→sink flows, local decls only
 }
 
 func (n *funcNode) addDirect(c effectClass, pos token.Pos, detail string) {
@@ -128,7 +135,8 @@ type Program struct {
 	nodes map[string]*funcNode
 	final bool
 
-	timings map[string]time.Duration
+	recvWrites map[string]bool // method key → writes its receiver (dataflow.go)
+	timings    map[string]time.Duration
 }
 
 type progPkg struct {
@@ -275,6 +283,7 @@ func (p *Program) finalize() {
 	p.resolveInterfaces()
 	p.collapse()
 	p.addTiming("callgraph", start)
+	p.computeTaint()
 }
 
 // resolveInterfaces fills the targets of interface call sites from the
@@ -625,6 +634,12 @@ type funcSummary struct {
 	Display string                  `json:"display"`
 	HotRoot bool                    `json:"hotroot,omitempty"`
 	Effects map[string]*transEffect `json:"effects,omitempty"`
+
+	// Taint summaries (dataflow.go). RetTaint's Src field names the
+	// source class; ParamRet lists pass-through parameter indices.
+	RetTaint  *taintVal        `json:"rettaint,omitempty"`
+	ParamRet  []int            `json:"paramret,omitempty"`
+	ParamSink map[int]*sinkVal `json:"paramsink,omitempty"`
 }
 
 // ExportSummaries serializes the transitive summaries of the named
@@ -649,7 +664,18 @@ func (p *Program) ExportSummaries(pkgPath string) ([]byte, error) {
 				}
 				s.Effects[effectName[c]] = n.trans[c]
 			}
-			if s.HotRoot || s.Effects != nil {
+			s.RetTaint = n.retTaint
+			s.ParamSink = n.paramSink
+			if len(n.paramRet) > 0 {
+				idx := make([]int, 0, len(n.paramRet))
+				for i := range n.paramRet {
+					idx = append(idx, i)
+				}
+				sort.Ints(idx)
+				s.ParamRet = idx
+			}
+			if s.HotRoot || s.Effects != nil || s.RetTaint != nil ||
+				s.ParamRet != nil || s.ParamSink != nil {
 				out[n.key] = s
 			}
 		}
@@ -677,6 +703,21 @@ func (p *Program) ImportSummaries(data []byte) error {
 				}
 			}
 		}
+		if s.RetTaint != nil {
+			n.retTaint = s.RetTaint
+			for c := taintSource(0); c < numTaintSources; c++ {
+				if taintSrcName[c] == s.RetTaint.Src {
+					n.retTaint.src = c
+				}
+			}
+		}
+		if len(s.ParamRet) > 0 {
+			n.paramRet = map[int]bool{}
+			for _, i := range s.ParamRet {
+				n.paramRet[i] = true
+			}
+		}
+		n.paramSink = s.ParamSink
 		p.nodes[key] = n
 	}
 	return nil

@@ -1,0 +1,1169 @@
+package v2plint
+
+// Interprocedural taint dataflow for the detflow analyzer (v2plint v4).
+// The call graph (callgraph.go) tracks *effects* — "this function
+// allocates somewhere". Determinism taint is a different question:
+// "does a value *derived from* a nondeterministic source ever *reach*
+// a determinism-critical sink?" — which needs value flow, not just
+// reachability. This file adds that layer on top of the same Program:
+//
+// Sources (the taint lattice's non-bottom points):
+//   - the wall clock (time.Now / time.Since / time.Until)
+//   - the global math/rand generator (package-level draw functions)
+//   - map iteration order (the key/value of a `range` over a map)
+//   - pointer identity (a pointer converted to uintptr — the numeric
+//     address varies run to run under ASLR and GC moves)
+//
+// Sinks (where tainted values must never arrive):
+//   - scheduled event keys/times (arguments of the eventq scheduling
+//     methods At/After/AtTimed/AfterTimed)
+//   - scheme cache state (values or keys stored into fields of a
+//     simnet.Scheme implementor or a struct embedded in one)
+//   - report fields (assignments into fields of *Report types)
+//   - telemetry output (arguments of telemetry-type methods, and
+//     assignments into telemetry-type fields)
+//
+// The per-function analysis is flow-sensitive: assigning a clean value
+// kills a variable's taint, branches merge by union, loop bodies are
+// iterated to a (two-pass) fixed point so loop-carried taint is seen.
+// Interprocedurally, three summaries are computed per function by a
+// whole-Program fixed point and serialized through the .vetx facts:
+//
+//   - retTaint: the function's results carry taint from a source
+//     (with the witness chain from the source outward),
+//   - paramRet: parameter i flows to a result (taint passes through),
+//   - paramSink: parameter i reaches a sink inside the function or a
+//     callee (with the witness chain from the call down to the sink).
+//
+// A finding is minted where the two half-chains meet: the call (or
+// statement) at which a source-tainted value enters a sink-reaching
+// position, rendered source-first:
+//
+//	time.Now → helper.clock → hostscheme.stamp → hostscheme.schedule → eventq.Queue.After
+//
+// Soundness limits (documented in DESIGN.md §8): the analysis is
+// field-insensitive (storing a tainted value into a container or
+// struct taints the whole variable; reading any element of a tainted
+// container reads taint), function-literal bodies are scanned inline
+// under the enclosing environment (a closure invoked elsewhere is
+// analyzed where it is written, not where it runs), receivers are not
+// tracked as taint carriers, and dynamic calls through func values
+// neither produce nor propagate taint.
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"path"
+	"sort"
+	"strings"
+	"time"
+)
+
+// A taintSource is one point of the taint lattice above bottom.
+type taintSource int
+
+const (
+	taintWallClock taintSource = iota
+	taintGlobalRand
+	taintMapOrder
+	taintPtrIdentity
+	numTaintSources
+	// taintParam marks provenance from a function parameter rather than
+	// a source; the param index lives in taintVal.param.
+	taintParam taintSource = -1
+)
+
+// taintSrcName keys the fact serialization; taintSrcNoun is the phrase
+// diagnostics use.
+var taintSrcName = [numTaintSources]string{
+	"wallclock", "globalrand", "maporder", "ptridentity",
+}
+
+var taintSrcNoun = [numTaintSources]string{
+	taintWallClock:   "the wall clock",
+	taintGlobalRand:  "the global math/rand generator",
+	taintMapOrder:    "map iteration order",
+	taintPtrIdentity: "pointer identity",
+}
+
+// A taintVal witnesses one tainted value: the source it derives from
+// and the chain of function displays it traveled through (ordered from
+// the source outward), or — when src == taintParam — the parameter it
+// derives from.
+type taintVal struct {
+	Src    string   `json:"src"`
+	Chain  []string `json:"chain,omitempty"`
+	Detail string   `json:"detail"`
+
+	src   taintSource
+	param int
+	pos   token.Pos
+}
+
+// A sinkVal witnesses one sink a parameter reaches: the chain of
+// function displays from the first callee down to the sink (empty for
+// a sink in the function's own body) and the terminal sink construct.
+type sinkVal struct {
+	Sink   string   `json:"sink"`
+	Chain  []string `json:"chain,omitempty"`
+	Detail string   `json:"detail"`
+}
+
+// Sink classes.
+const (
+	sinkEventKey    = "eventkey"
+	sinkSchemeState = "schemestate"
+	sinkReport      = "reportfield"
+	sinkTelemetry   = "telemetry"
+)
+
+var sinkNoun = map[string]string{
+	sinkEventKey:    "a scheduled event key",
+	sinkSchemeState: "scheme cache state",
+	sinkReport:      "a report field",
+	sinkTelemetry:   "telemetry output",
+}
+
+// A flowFinding is one fully-witnessed source→sink flow, minted during
+// the whole-Program taint fixed point and reported by detflow when its
+// owning package's pass runs.
+type flowFinding struct {
+	pos     token.Pos
+	src     *taintVal
+	sink    *sinkVal
+	fnDisp  string // display of the function owning the flow
+	viaCall string // display of the callee the taint entered, "" for a local sink
+}
+
+// computeTaint runs the whole-Program taint fixed point after the call
+// graph is resolved. It fills each node's retTaint/paramRet/paramSink
+// summaries and flowFinds list.
+func (p *Program) computeTaint() {
+	start := time.Now()
+	stateTypes := p.schemeStateTypes()
+	keys := make([]string, 0, len(p.nodes))
+	for k := range p.nodes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	// Iterate to a summary fixed point. Each round rescans every local
+	// declaration; the final round (no summary changed) leaves complete
+	// findings behind. Chains through recursion are cut by first-wins.
+	for round := 0; ; round++ {
+		changed := false
+		for _, k := range keys {
+			n := p.nodes[k]
+			if n.decl == nil {
+				continue
+			}
+			pp := p.pkgOf(n)
+			if pp == nil {
+				continue
+			}
+			s := &taintScan{
+				prog:       p,
+				info:       pp.info,
+				n:          n,
+				stateTypes: stateTypes,
+			}
+			if s.run() {
+				changed = true
+			}
+		}
+		if !changed || round > 32 {
+			break
+		}
+	}
+	p.addTiming("dataflow", start)
+}
+
+// pkgOf returns the progPkg a local node was declared in.
+func (p *Program) pkgOf(n *funcNode) *progPkg {
+	for _, pp := range p.pkgs {
+		if pp.path == n.pkgPath {
+			return pp
+		}
+	}
+	return nil
+}
+
+// receiverMutates reports whether the method named by key writes
+// through its receiver — directly (assignment, ++/--, delete rooted at
+// the receiver variable) or by calling another same-package
+// pointer-receiver method that does. Read-only lookups (topology
+// distance queries, tenancy checks) return false, so calling them on a
+// state-rooted path is not a state mutation. Memoized on the Program;
+// cycles resolve optimistically (a recursive set with no direct write
+// anywhere is read-only).
+func (p *Program) receiverMutates(key string) bool {
+	if p.recvWrites == nil {
+		p.recvWrites = map[string]bool{}
+	}
+	return p.receiverMutatesRec(key, map[string]bool{})
+}
+
+func (p *Program) receiverMutatesRec(key string, visiting map[string]bool) bool {
+	if done, ok := p.recvWrites[key]; ok {
+		return done
+	}
+	if visiting[key] {
+		return false
+	}
+	visiting[key] = true
+	n := p.nodes[key]
+	if n == nil || n.decl == nil || n.decl.Recv == nil ||
+		len(n.decl.Recv.List) == 0 || len(n.decl.Recv.List[0].Names) == 0 {
+		return false // no body or unnamed receiver: nothing provably written
+	}
+	pp := p.pkgOf(n)
+	if pp == nil {
+		return false
+	}
+	recv, ok := pp.info.Defs[n.decl.Recv.List[0].Names[0]].(*types.Var)
+	if !ok {
+		return false
+	}
+	rootsRecv := func(e ast.Expr) bool {
+		id, ok := baseIdent(e)
+		if !ok {
+			return false
+		}
+		v, _ := pp.info.Uses[id].(*types.Var)
+		return v == recv
+	}
+	writes := false
+	ast.Inspect(n.decl.Body, func(x ast.Node) bool {
+		if writes {
+			return false
+		}
+		switch x := x.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				if _, isIdent := lhs.(*ast.Ident); !isIdent && rootsRecv(lhs) {
+					writes = true
+				}
+			}
+		case *ast.IncDecStmt:
+			if rootsRecv(x.X) {
+				writes = true
+			}
+		case *ast.CallExpr:
+			fun := ast.Unparen(x.Fun)
+			if id, ok := fun.(*ast.Ident); ok {
+				if b, ok := pp.info.Uses[id].(*types.Builtin); ok && b.Name() == "delete" &&
+					len(x.Args) > 0 && rootsRecv(x.Args[0]) {
+					writes = true
+				}
+				return true
+			}
+			sel, ok := fun.(*ast.SelectorExpr)
+			if !ok || !rootsRecv(sel.X) {
+				return true
+			}
+			m, ok := pp.info.Uses[sel.Sel].(*types.Func)
+			if !ok || m.Pkg() == nil || m.Pkg().Path() != n.pkgPath {
+				return true
+			}
+			sig, ok := m.Type().(*types.Signature)
+			if !ok || sig.Recv() == nil {
+				return true
+			}
+			if _, isPtr := sig.Recv().Type().(*types.Pointer); !isPtr {
+				return true
+			}
+			mk, _ := methodKeyOf(m)
+			if mk != "" && p.receiverMutatesRec(mk, visiting) {
+				writes = true
+			}
+		}
+		return true
+	})
+	p.recvWrites[key] = writes
+	return writes
+}
+
+// stateMutatingCall reports whether a pointer-receiver method call is a
+// scheme-state mutation when its receiver path roots at state: the
+// callee must live in the given package (cross-package receivers —
+// topology, eventq — are infrastructure with their own contracts) and
+// must actually write its receiver.
+func (p *Program) stateMutatingCall(m *types.Func, pkgPath string) bool {
+	sig, ok := m.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	if _, isPtr := sig.Recv().Type().(*types.Pointer); !isPtr {
+		return false
+	}
+	if m.Pkg() == nil || m.Pkg().Path() != pkgPath {
+		return false
+	}
+	key, _ := methodKeyOf(m)
+	return key != "" && p.receiverMutates(key)
+}
+
+// schemeStateTypes collects, across every added package, the named
+// types implementing simnet.Scheme plus every named struct they embed
+// (transitively, same package): the types whose fields count as scheme
+// cache state for the schemestate sink. Imported summaries contribute
+// through the stateType facts instead.
+func (p *Program) schemeStateTypes() map[*types.TypeName]bool {
+	out := map[*types.TypeName]bool{}
+	for _, pp := range p.pkgs {
+		if pp.pkg == nil {
+			continue
+		}
+		scheme, _ := schemeInterfaces(pp.pkg)
+		if scheme == nil {
+			continue
+		}
+		scope := pp.pkg.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok || types.IsInterface(named) {
+				continue
+			}
+			if !types.Implements(types.NewPointer(named), scheme) {
+				continue
+			}
+			addStateType(out, named)
+		}
+	}
+	return out
+}
+
+// addStateType marks the named type and, recursively, every named
+// struct it embeds from the same package.
+func addStateType(out map[*types.TypeName]bool, named *types.Named) {
+	if out[named.Obj()] {
+		return
+	}
+	out[named.Obj()] = true
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if !f.Embedded() {
+			continue
+		}
+		t := f.Type()
+		if ptr, isPtr := t.(*types.Pointer); isPtr {
+			t = ptr.Elem()
+		}
+		en, ok := t.(*types.Named)
+		if !ok || en.Obj().Pkg() != named.Obj().Pkg() {
+			continue
+		}
+		if _, isStruct := en.Underlying().(*types.Struct); isStruct {
+			addStateType(out, en)
+		}
+	}
+}
+
+// isSchemeStateType reports whether t (possibly behind a pointer) is a
+// scheme-state named type.
+func isSchemeStateType(stateTypes map[*types.TypeName]bool, t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && stateTypes[named.Obj()]
+}
+
+// --- the per-function flow-sensitive scan ---
+
+// A taintEnv maps variables to their current taint; absent means clean.
+type taintEnv map[*types.Var]*taintVal
+
+func (e taintEnv) clone() taintEnv {
+	out := make(taintEnv, len(e))
+	for k, v := range e {
+		out[k] = v
+	}
+	return out
+}
+
+// merge unions other into e (first-wins on conflict, so chains stay
+// deterministic given deterministic scan order).
+func (e taintEnv) merge(other taintEnv) {
+	for k, v := range other {
+		if _, ok := e[k]; !ok {
+			e[k] = v
+		}
+	}
+}
+
+type taintScan struct {
+	prog       *Program
+	info       *types.Info
+	n          *funcNode
+	stateTypes map[*types.TypeName]bool
+
+	params  map[*types.Var]int
+	sites   map[token.Pos]*callSite
+	inLit   int // > 0 while scanning a function-literal body
+	changed bool
+	finds   []*flowFinding
+}
+
+// run scans the node's declaration and returns whether any summary
+// changed. Findings are rebuilt from scratch every round; the last
+// round's set is final.
+func (s *taintScan) run() bool {
+	fn := s.n.decl
+	s.params = map[*types.Var]int{}
+	env := taintEnv{}
+	i := 0
+	if fn.Type.Params != nil {
+		for _, field := range fn.Type.Params.List {
+			for _, name := range field.Names {
+				if v, ok := s.info.Defs[name].(*types.Var); ok {
+					s.params[v] = i
+					env[v] = &taintVal{src: taintParam, param: i}
+				}
+				i++
+			}
+			if len(field.Names) == 0 {
+				i++
+			}
+		}
+	}
+	s.sites = map[token.Pos]*callSite{}
+	for _, cs := range s.n.calls {
+		s.sites[cs.pos] = cs
+	}
+	s.block(fn.Body.List, env)
+	// Loop bodies are scanned twice, so the same sink hit can be minted
+	// twice at one position; dedup keeps findings stable.
+	seen := map[string]bool{}
+	var deduped []*flowFinding
+	for _, f := range s.finds {
+		k := itoa(int(f.pos)) + "/" + f.sink.Sink + "/" + f.src.Detail
+		if !seen[k] {
+			seen[k] = true
+			deduped = append(deduped, f)
+		}
+	}
+	if !taintFindsEqual(s.n.flowFinds, deduped) {
+		s.n.flowFinds = deduped
+	}
+	return s.changed
+}
+
+func taintFindsEqual(a, b []*flowFinding) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].pos != b[i].pos || a[i].sink.Sink != b[i].sink.Sink {
+			return false
+		}
+	}
+	return true
+}
+
+// block scans a statement list, threading the environment through.
+func (s *taintScan) block(list []ast.Stmt, env taintEnv) {
+	for _, st := range list {
+		s.stmt(st, env)
+	}
+}
+
+func (s *taintScan) stmt(st ast.Stmt, env taintEnv) {
+	switch st := st.(type) {
+	case *ast.AssignStmt:
+		s.assign(st, env)
+	case *ast.IncDecStmt:
+		s.expr(st.X, env)
+	case *ast.ExprStmt:
+		s.expr(st.X, env)
+	case *ast.SendStmt:
+		s.expr(st.Chan, env)
+		s.expr(st.Value, env)
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					var tv *taintVal
+					if i < len(vs.Values) {
+						tv = s.expr(vs.Values[i], env)
+					} else if len(vs.Values) == 1 {
+						tv = s.expr(vs.Values[0], env)
+					}
+					s.setVar(env, name, tv)
+				}
+			}
+		}
+	case *ast.IfStmt:
+		if st.Init != nil {
+			s.stmt(st.Init, env)
+		}
+		s.expr(st.Cond, env)
+		thenEnv := env.clone()
+		s.block(st.Body.List, thenEnv)
+		if st.Else != nil {
+			elseEnv := env.clone()
+			s.stmt(st.Else, elseEnv)
+			env.merge(elseEnv)
+		}
+		env.merge(thenEnv)
+	case *ast.ForStmt:
+		if st.Init != nil {
+			s.stmt(st.Init, env)
+		}
+		// Two passes expose loop-carried taint (x picks up taint on
+		// iteration 1, reaches a sink on iteration 2).
+		for i := 0; i < 2; i++ {
+			if st.Cond != nil {
+				s.expr(st.Cond, env)
+			}
+			body := env.clone()
+			s.block(st.Body.List, body)
+			if st.Post != nil {
+				s.stmt(st.Post, body)
+			}
+			env.merge(body)
+		}
+	case *ast.RangeStmt:
+		xt := s.expr(st.X, env)
+		var kv *taintVal
+		if t := s.info.TypeOf(st.X); t != nil {
+			if _, isMap := t.Underlying().(*types.Map); isMap {
+				kv = newSourceTaint(taintMapOrder, "range over "+renderExpr(st.X), st.Pos())
+			}
+		}
+		if kv == nil {
+			kv = xt
+		}
+		if st.Key != nil {
+			if id, ok := st.Key.(*ast.Ident); ok {
+				s.setVar(env, id, kv)
+			}
+		}
+		if st.Value != nil {
+			if id, ok := st.Value.(*ast.Ident); ok {
+				s.setVar(env, id, kv)
+			}
+		}
+		for i := 0; i < 2; i++ {
+			body := env.clone()
+			s.block(st.Body.List, body)
+			env.merge(body)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range st.Results {
+			s.noteReturn(s.expr(e, env))
+		}
+	case *ast.BlockStmt:
+		s.block(st.List, env.clone())
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			s.stmt(st.Init, env)
+		}
+		if st.Tag != nil {
+			s.expr(st.Tag, env)
+		}
+		for _, c := range st.Body.List {
+			cc := c.(*ast.CaseClause)
+			for _, e := range cc.List {
+				s.expr(e, env)
+			}
+			caseEnv := env.clone()
+			s.block(cc.Body, caseEnv)
+			env.merge(caseEnv)
+		}
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			s.stmt(st.Init, env)
+		}
+		s.stmt(st.Assign, env)
+		for _, c := range st.Body.List {
+			cc := c.(*ast.CaseClause)
+			caseEnv := env.clone()
+			s.block(cc.Body, caseEnv)
+			env.merge(caseEnv)
+		}
+	case *ast.SelectStmt:
+		for _, c := range st.Body.List {
+			cc := c.(*ast.CommClause)
+			caseEnv := env.clone()
+			if cc.Comm != nil {
+				s.stmt(cc.Comm, caseEnv)
+			}
+			s.block(cc.Body, caseEnv)
+			env.merge(caseEnv)
+		}
+	case *ast.GoStmt:
+		s.expr(st.Call, env)
+	case *ast.DeferStmt:
+		s.expr(st.Call, env)
+	case *ast.LabeledStmt:
+		s.stmt(st.Stmt, env)
+	}
+}
+
+// assign computes RHS taints, checks sink positions on the LHS, and
+// updates the environment (flow-sensitively: a clean RHS kills taint).
+func (s *taintScan) assign(st *ast.AssignStmt, env taintEnv) {
+	var taints []*taintVal
+	if len(st.Rhs) == 1 && len(st.Lhs) > 1 {
+		tv := s.expr(st.Rhs[0], env)
+		for range st.Lhs {
+			taints = append(taints, tv)
+		}
+	} else {
+		for _, rhs := range st.Rhs {
+			taints = append(taints, s.expr(rhs, env))
+		}
+	}
+	for i, lhs := range st.Lhs {
+		if i >= len(taints) {
+			break
+		}
+		tv := taints[i]
+		// Compound assignment (+=, etc.) keeps existing taint alive.
+		if st.Tok != token.ASSIGN && st.Tok != token.DEFINE {
+			if old := s.expr(lhs, env); tv == nil {
+				tv = old
+			}
+		}
+		switch lhs := lhs.(type) {
+		case *ast.Ident:
+			s.setVar(env, lhs, tv)
+		case *ast.SelectorExpr:
+			if tv != nil {
+				s.checkWritePath(lhs, tv, st.Pos())
+			}
+			s.taintBase(env, lhs, tv)
+		case *ast.IndexExpr:
+			idxT := s.expr(lhs.Index, env)
+			if tv == nil {
+				tv = idxT
+			}
+			// A map store keyed (or valued) by map-iteration-derived data
+			// is canonicalizing: maps have no order, so the resulting
+			// contents are the same whatever order the source map was
+			// visited in. Other source classes (wall clock, rand) still
+			// make the contents run-dependent and stay tainted.
+			if tv != nil && tv.src == taintMapOrder {
+				if t := s.info.TypeOf(lhs.X); t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap {
+						tv = nil
+					}
+				}
+			}
+			if tv != nil {
+				s.checkWritePath(lhs, tv, st.Pos())
+			}
+			s.taintBase(env, lhs, tv)
+		case *ast.StarExpr:
+			s.taintBase(env, lhs, tv)
+		}
+	}
+}
+
+// setVar binds (or clears) a variable's taint.
+func (s *taintScan) setVar(env taintEnv, id *ast.Ident, tv *taintVal) {
+	obj := s.info.Defs[id]
+	if obj == nil {
+		obj = s.info.Uses[id]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return
+	}
+	if tv == nil {
+		delete(env, v)
+	} else {
+		env[v] = tv
+	}
+}
+
+// taintBase propagates a write-through taint (x.f = tainted,
+// m[k] = tainted) onto the base variable: the analysis is
+// field-insensitive, so the container becomes tainted.
+func (s *taintScan) taintBase(env taintEnv, e ast.Expr, tv *taintVal) {
+	if tv == nil {
+		return
+	}
+	if id, ok := baseIdent(e); ok {
+		if v, ok := s.info.Uses[id].(*types.Var); ok {
+			if _, already := env[v]; !already {
+				env[v] = tv
+			}
+		}
+	}
+}
+
+// checkWritePath classifies an assignment whose LHS is a selector or
+// index path as a sink: it walks the whole path down to the base, and
+// any field selector through a scheme-state, report, or telemetry type
+// along the way makes the write a sink (so t.pending[host][vip] = x is
+// a scheme-state write even though the immediate LHS is an index
+// expression).
+func (s *taintScan) checkWritePath(root ast.Expr, tv *taintVal, pos token.Pos) {
+	detail := renderExpr(root)
+	e := ast.Unparen(root)
+	for {
+		switch x := e.(type) {
+		case *ast.SelectorExpr:
+			if v, ok := s.info.Uses[x.Sel].(*types.Var); ok && v.IsField() {
+				recvT := s.info.TypeOf(x.X)
+				switch {
+				case isSchemeStateType(s.stateTypes, recvT):
+					s.sinkHit(tv, &sinkVal{Sink: sinkSchemeState, Detail: "write to " + detail}, pos, "")
+					return
+				case isReportType(recvT):
+					s.sinkHit(tv, &sinkVal{Sink: sinkReport, Detail: "write to " + detail}, pos, "")
+					return
+				case namedFromPkgT(recvT, "telemetry"):
+					s.sinkHit(tv, &sinkVal{Sink: sinkTelemetry, Detail: "write to " + detail}, pos, "")
+					return
+				}
+			}
+			e = ast.Unparen(x.X)
+		case *ast.IndexExpr:
+			e = ast.Unparen(x.X)
+		case *ast.StarExpr:
+			e = ast.Unparen(x.X)
+		default:
+			return
+		}
+	}
+}
+
+// sinkHit records a tainted value arriving at a sink: a finding when
+// the taint derives from a real source, a paramSink summary when it
+// derives from a parameter.
+func (s *taintScan) sinkHit(tv *taintVal, sink *sinkVal, pos token.Pos, viaCall string) {
+	if tv == nil {
+		return
+	}
+	if tv.src == taintParam {
+		if s.n.paramSink == nil {
+			s.n.paramSink = map[int]*sinkVal{}
+		}
+		if s.n.paramSink[tv.param] == nil {
+			s.n.paramSink[tv.param] = sink
+			s.changed = true
+		}
+		return
+	}
+	s.finds = append(s.finds, &flowFinding{
+		pos:     pos,
+		src:     tv,
+		sink:    sink,
+		fnDisp:  s.n.display,
+		viaCall: viaCall,
+	})
+}
+
+// noteReturn records return-position taint into the summaries.
+func (s *taintScan) noteReturn(tv *taintVal) {
+	if tv == nil || s.inLit > 0 {
+		return
+	}
+	if tv.src == taintParam {
+		if s.n.paramRet == nil {
+			s.n.paramRet = map[int]bool{}
+		}
+		if !s.n.paramRet[tv.param] {
+			s.n.paramRet[tv.param] = true
+			s.changed = true
+		}
+		return
+	}
+	if s.n.retTaint == nil {
+		s.n.retTaint = tv
+		s.changed = true
+	}
+}
+
+// expr computes the taint of an expression (nil = clean), recording
+// sink hits and summary contributions along the way.
+func (s *taintScan) expr(e ast.Expr, env taintEnv) *taintVal {
+	switch e := e.(type) {
+	case nil:
+		return nil
+	case *ast.Ident:
+		if v, ok := s.info.Uses[e].(*types.Var); ok {
+			return env[v]
+		}
+		return nil
+	case *ast.ParenExpr:
+		return s.expr(e.X, env)
+	case *ast.SelectorExpr:
+		// Field read off a tainted base reads taint (field-insensitive).
+		return s.expr(e.X, env)
+	case *ast.IndexExpr:
+		bt := s.expr(e.X, env)
+		it := s.expr(e.Index, env)
+		if bt != nil {
+			return bt
+		}
+		return it
+	case *ast.SliceExpr:
+		return s.expr(e.X, env)
+	case *ast.StarExpr:
+		return s.expr(e.X, env)
+	case *ast.UnaryExpr:
+		return s.expr(e.X, env)
+	case *ast.BinaryExpr:
+		xt := s.expr(e.X, env)
+		yt := s.expr(e.Y, env)
+		if xt != nil {
+			return xt
+		}
+		return yt
+	case *ast.CallExpr:
+		return s.call(e, env)
+	case *ast.CompositeLit:
+		var out *taintVal
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			if t := s.expr(el, env); t != nil && out == nil {
+				out = t
+			}
+		}
+		return out
+	case *ast.TypeAssertExpr:
+		return s.expr(e.X, env)
+	case *ast.FuncLit:
+		// Closure bodies are scanned inline under a copy of the current
+		// environment: sinks inside a scheduled closure are flows of the
+		// function that wrote the closure. Return statements inside the
+		// literal are the literal's own, though — they must not feed the
+		// enclosing function's return-taint summary (a sort comparator
+		// returning a tainted comparison is not the function returning
+		// taint).
+		s.inLit++
+		s.block(e.Body.List, env.clone())
+		s.inLit--
+		return nil
+	case *ast.KeyValueExpr:
+		return s.expr(e.Value, env)
+	}
+	return nil
+}
+
+// call handles sources, sinks, conversions, and interprocedural
+// propagation at one call site.
+func (s *taintScan) call(call *ast.CallExpr, env taintEnv) *taintVal {
+	fun := ast.Unparen(call.Fun)
+
+	// Conversions: T(x) propagates x's taint; uintptr(ptr) mints
+	// pointer-identity taint.
+	if tv, ok := s.info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		argT := s.info.TypeOf(call.Args[0])
+		at := s.expr(call.Args[0], env)
+		if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Kind() == types.Uintptr && isPointerLike(argT) {
+			return newSourceTaint(taintPtrIdentity, "uintptr("+renderExpr(call.Args[0])+")", call.Pos())
+		}
+		return at
+	}
+
+	// Builtins: append/min/max propagate, delete is a possible
+	// scheme-state sink, the rest launder taint (len of a tainted map is
+	// a deterministic count).
+	if id, ok := fun.(*ast.Ident); ok {
+		if b, ok := s.info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "append", "min", "max":
+				var out *taintVal
+				for _, a := range call.Args {
+					if t := s.expr(a, env); t != nil && out == nil {
+						out = t
+					}
+				}
+				return out
+			case "delete":
+				if len(call.Args) == 2 {
+					mt := s.info.TypeOf(call.Args[0])
+					kt := s.expr(call.Args[1], env)
+					s.expr(call.Args[0], env)
+					// Map deletes, like map stores, canonicalize
+					// map-iteration-order taint (collect-and-clear loops).
+					if kt != nil && kt.src != taintMapOrder && s.deleteOnSchemeState(call.Args[0], mt) {
+						s.sinkHit(kt, &sinkVal{Sink: sinkSchemeState, Detail: "delete from " + renderExpr(call.Args[0])}, call.Pos(), "")
+					}
+				}
+				return nil
+			default:
+				for _, a := range call.Args {
+					s.expr(a, env)
+				}
+				return nil
+			}
+		}
+	}
+
+	// Argument taints (computed once, reused below).
+	argT := make([]*taintVal, len(call.Args))
+	for i, a := range call.Args {
+		argT[i] = s.expr(a, env)
+	}
+
+	// Source calls.
+	if sel, ok := fun.(*ast.SelectorExpr); ok {
+		if fnObj, pkgPath, ok := pkgFunc(s.info, sel); ok {
+			switch {
+			case pkgPath == "sort" || (pkgPath == "slices" && strings.HasPrefix(fnObj.Name(), "Sort")):
+				// Sorting canonicalizes order: the slice's contents no
+				// longer depend on how they were discovered.
+				for _, a := range call.Args {
+					if id, ok := ast.Unparen(a).(*ast.Ident); ok {
+						if v, ok := s.info.Uses[id].(*types.Var); ok {
+							delete(env, v)
+						}
+					}
+				}
+				return nil
+			case pkgPath == "time" && wallClockFuncs[fnObj.Name()]:
+				return newSourceTaint(taintWallClock, "time."+fnObj.Name(), call.Pos())
+			case (pkgPath == "math/rand" || pkgPath == "math/rand/v2") && !randConstructors[fnObj.Name()]:
+				return newSourceTaint(taintGlobalRand, "rand."+fnObj.Name(), call.Pos())
+			}
+		}
+		// Sink calls by receiver.
+		if m, ok := s.info.Uses[sel.Sel].(*types.Func); ok {
+			if sig, ok := m.Type().(*types.Signature); ok && sig.Recv() != nil {
+				recvT := s.info.TypeOf(sel.X)
+				switch {
+				case recvPkgBaseOf(recvT) == "eventq" && schedMethods[m.Name()]:
+					for i, at := range argT {
+						if at != nil {
+							s.sinkHit(at, &sinkVal{Sink: sinkEventKey, Detail: renderExpr(sel) + " arg " + itoa(i+1)}, call.Args[i].Pos(), "")
+						}
+					}
+				case recvPkgBaseOf(recvT) == "telemetry":
+					for i, at := range argT {
+						if at != nil {
+							s.sinkHit(at, &sinkVal{Sink: sinkTelemetry, Detail: renderExpr(sel) + " arg " + itoa(i+1)}, call.Args[i].Pos(), "")
+						}
+					}
+				case s.schemeStateMethodCall(sel, m):
+					for i, at := range argT {
+						if at != nil {
+							s.sinkHit(at, &sinkVal{Sink: sinkSchemeState, Detail: renderExpr(sel) + " arg " + itoa(i+1)}, call.Args[i].Pos(), "")
+						}
+					}
+				}
+			}
+		}
+	}
+
+	// Interprocedural propagation through resolved call targets.
+	cs := s.sites[call.Pos()]
+	if cs == nil {
+		return nil
+	}
+	var out *taintVal
+	for _, tgt := range cs.targets {
+		callee := s.prog.node(tgt.key)
+		if callee == nil {
+			continue
+		}
+		// Tainted argument meeting a sink-reaching parameter.
+		for i, at := range argT {
+			if at == nil || callee.paramSink == nil {
+				continue
+			}
+			sv := callee.paramSink[i]
+			if sv == nil {
+				continue
+			}
+			chained := &sinkVal{
+				Sink:   sv.Sink,
+				Chain:  append([]string{tgt.display}, sv.Chain...),
+				Detail: sv.Detail,
+			}
+			s.sinkHit(at, chained, call.Args[i].Pos(), tgt.display)
+		}
+		if out == nil && callee.retTaint != nil {
+			rt := callee.retTaint
+			out = &taintVal{
+				src:    rt.src,
+				Src:    rt.Src,
+				Chain:  append(append([]string{}, rt.Chain...), tgt.display),
+				Detail: rt.Detail,
+				pos:    call.Pos(),
+			}
+		}
+		// Taint passing through the callee and back out.
+		if out == nil && callee.paramRet != nil {
+			for i, at := range argT {
+				if at != nil && callee.paramRet[i] {
+					out = &taintVal{
+						src:    at.src,
+						param:  at.param,
+						Src:    at.Src,
+						Chain:  append(append([]string{}, at.Chain...), tgt.display),
+						Detail: at.Detail,
+						pos:    call.Pos(),
+					}
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
+// deleteOnSchemeState reports whether the delete target is (or is
+// reached through) a field of a scheme-state type.
+func (s *taintScan) deleteOnSchemeState(e ast.Expr, _ types.Type) bool {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			if v, ok := s.info.Uses[x.Sel].(*types.Var); ok && v.IsField() {
+				if isSchemeStateType(s.stateTypes, s.info.TypeOf(x.X)) {
+					return true
+				}
+			}
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		default:
+			return false
+		}
+	}
+}
+
+// schemeStateMethodCall reports whether sel is a state-mutating method
+// call (same-package pointer receiver that writes its receiver) whose
+// receiver path roots at a scheme-state field — a mutation of scheme
+// cache state.
+func (s *taintScan) schemeStateMethodCall(sel *ast.SelectorExpr, m *types.Func) bool {
+	if !s.prog.stateMutatingCall(m, s.n.pkgPath) {
+		return false
+	}
+	e := ast.Unparen(sel.X)
+	for {
+		switch x := e.(type) {
+		case *ast.SelectorExpr:
+			if v, ok := s.info.Uses[x.Sel].(*types.Var); ok && v.IsField() {
+				if isSchemeStateType(s.stateTypes, s.info.TypeOf(x.X)) {
+					return true
+				}
+			}
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return false
+		}
+	}
+}
+
+// schedMethods are the eventq scheduling entry points whose arguments
+// are event keys/times.
+var schedMethods = map[string]bool{
+	"At": true, "After": true, "AtTimed": true, "AfterTimed": true,
+}
+
+// newSourceTaint mints a taintVal at a real source, with both the
+// runtime and serialized source identifiers set.
+func newSourceTaint(src taintSource, detail string, pos token.Pos) *taintVal {
+	return &taintVal{src: src, Src: taintSrcName[src], Detail: detail, pos: pos}
+}
+
+// --- small helpers ---
+
+func isPointerLike(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Pointer:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+// isReportType matches named types whose name is Report or ends in
+// Report: the result-surface structs whose fields feed EXPERIMENTS
+// tables and CI diffs.
+func isReportType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	name := named.Obj().Name()
+	return name == "Report" || (len(name) > 6 && name[len(name)-6:] == "Report")
+}
+
+func recvPkgBaseOf(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return ""
+	}
+	return path.Base(named.Obj().Pkg().Path())
+}
+
+func namedFromPkgT(t types.Type, pkgBase string) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	return namedFromPkg(t, pkgBase)
+}
+
+// renderExpr prints an expression compactly for diagnostics (cold path
+// only).
+func renderExpr(e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, token.NewFileSet(), e); err != nil {
+		return "?"
+	}
+	return buf.String()
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

@@ -1,0 +1,58 @@
+package v2plint
+
+// DetFlow reports witnessed nondeterminism taint flows. The heavy
+// lifting — flow-sensitive per-function scans plus the whole-Program
+// summary fixed point — happens in dataflow.go when the Program is
+// finalized; this analyzer surfaces each node's recorded findings at
+// its package's pass so they participate in ordinary position sorting
+// and //v2plint:allow waiving.
+//
+// Division of labor with the call-site analyzers: wallclock and
+// globalrand flag *calling* the nondeterministic API anywhere in
+// simulation code; detflow flags the *value flow* — a wall-clock or
+// rand value (or a map-iteration key, or a pointer address) reaching a
+// scheduled event key, scheme cache state, a report field, or
+// telemetry output, possibly through several calls and packages. Code
+// that legitimately reads the wall clock (host-side profiling) is
+// waived for wallclock but still must not leak the reading into
+// simulation-visible state; detflow is the analyzer that notices when
+// it does.
+
+var DetFlow = &Analyzer{
+	Name: "detflow",
+	Doc: "tracks values derived from the wall clock, the global math/rand " +
+		"generator, map iteration order, or pointer identity, and reports " +
+		"when one flows into a scheduled event key, scheme cache state, a " +
+		"report field, or telemetry output, with the full source→sink " +
+		"witness chain",
+	Run: runDetFlow,
+}
+
+func runDetFlow(pass *Pass) {
+	for _, n := range pass.nodes {
+		for _, f := range n.flowFinds {
+			pass.Reportf(f.pos,
+				"value derived from %s flows into %s: %s",
+				taintSrcNoun[f.src.src], sinkNoun[f.sink.Sink], f.witness())
+		}
+	}
+}
+
+// witness renders the full source→sink chain of a flow finding,
+// source-first:
+//
+//	time.Now → helper.clock → hostscheme.stamp → hostscheme.schedule → eventq.Queue.After arg 1
+func (f *flowFinding) witness() string {
+	s := f.src.Detail
+	for _, link := range f.src.Chain {
+		s += " → " + link
+	}
+	s += " → " + f.fnDisp
+	if f.viaCall != "" && (len(f.sink.Chain) == 0 || f.sink.Chain[0] != f.viaCall) {
+		s += " → " + f.viaCall
+	}
+	for _, link := range f.sink.Chain {
+		s += " → " + link
+	}
+	return s + " → " + f.sink.Detail
+}

@@ -1,0 +1,19 @@
+package v2plint_test
+
+import (
+	"testing"
+
+	"switchv2p/internal/analysis/v2plint"
+	"switchv2p/internal/analysis/v2plint/analysistest"
+)
+
+func TestDetFlow(t *testing.T) {
+	// "detflow/helper" is listed first so the cross-package summaries
+	// (helper.Stamp's retTaint, helper.Scale's paramRet) resolve against
+	// the same type-checked instance the Program holds. The main package
+	// covers every source × sink class plus the multi-hop witnesses;
+	// "detflow/clean" is the all-silent negative: canonicalized map
+	// order, flow-sensitive kills, and a reasoned waiver.
+	analysistest.Run(t, analysistest.TestData(t), v2plint.DetFlow,
+		"detflow/helper", "detflow", "detflow/clean")
+}

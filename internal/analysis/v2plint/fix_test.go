@@ -152,14 +152,15 @@ func TestApplyFixesIgnoresFixlessDiagnostics(t *testing.T) {
 	}
 }
 
-func TestSuiteShipsThirteenAnalyzers(t *testing.T) {
-	// The CI contract ("all thirteen analyzers, build-failing") and the
+func TestSuiteShipsFifteenAnalyzers(t *testing.T) {
+	// The CI contract ("all fifteen analyzers, build-failing") and the
 	// package doc both promise this exact suite; a rename or removal
 	// must be a conscious change here too.
 	want := []string{
 		"detrange", "wallclock", "globalrand", "simtimeunits",
 		"hotpathalloc", "faultgate", "schemecomplete", "nilsafemetrics", "shardowner",
 		"hotpathreach", "workersafe", "planpure",
+		"detflow", "shardstate",
 		"allowreason",
 	}
 	got := Analyzers()

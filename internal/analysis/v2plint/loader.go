@@ -32,9 +32,39 @@ type listPkg struct {
 	Name       string
 	Export     string
 	GoFiles    []string
+	Imports    []string
 	DepOnly    bool
 	Standard   bool
 	Error      *struct{ Err string }
+}
+
+// listPackages runs `go list -export -deps -json` over the patterns
+// and decodes every package (dependencies included) in the output.
+func listPackages(dir string, patterns []string) ([]*listPkg, error) {
+	args := append([]string{"list", "-export", "-deps", "-json=Dir,ImportPath,Name,Export,GoFiles,Imports,DepOnly,Standard,Error"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	var pkgs []*listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		p := new(listPkg)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: package %s: %s", p.ImportPath, p.Error.Err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
 }
 
 // LoadPackages type-checks the module packages matched by patterns.
@@ -49,29 +79,13 @@ func LoadPackages(dir string, patterns []string) ([]*LoadedPackage, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	args := append([]string{"list", "-export", "-deps", "-json=Dir,ImportPath,Name,Export,GoFiles,DepOnly,Standard,Error"}, patterns...)
-	cmd := exec.Command("go", args...)
-	cmd.Dir = dir
-	var stderr bytes.Buffer
-	cmd.Stderr = &stderr
-	out, err := cmd.Output()
+	pkgs, err := listPackages(dir, patterns)
 	if err != nil {
-		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.String())
+		return nil, err
 	}
-
 	exports := map[string]string{}
 	var targets []*listPkg
-	dec := json.NewDecoder(bytes.NewReader(out))
-	for {
-		p := new(listPkg)
-		if err := dec.Decode(p); err == io.EOF {
-			break
-		} else if err != nil {
-			return nil, fmt.Errorf("go list: decoding output: %v", err)
-		}
-		if p.Error != nil {
-			return nil, fmt.Errorf("go list: package %s: %s", p.ImportPath, p.Error.Err)
-		}
+	for _, p := range pkgs {
 		if p.Export != "" {
 			exports[p.ImportPath] = p.Export
 		}

@@ -1,0 +1,389 @@
+package v2plint
+
+// ShardState machine-checks the gap ROADMAP item 3 left open: "the
+// host-cache family's pending-install maps and LRU lists are per-event
+// global state today". Under the sharded engine every per-event
+// handler runs inside one domain's slot, so a scheme's mutable state
+// is shard-safe only if each event touches state belonging to its own
+// slot (host or switch). This analyzer enforces that structurally:
+//
+// For every concrete simnet.Scheme implementor in the package, the
+// per-event entry points (SenderResolve, SwitchArrive, HostMisdeliver)
+// and every same-package function reachable from them through the call
+// graph are scanned. Inside those functions, a mutation of scheme
+// state — an assignment, ++/--, delete, or pointer-receiver method
+// call rooted at a field of the implementor (or of a same-package
+// struct it embeds) — must either
+//
+//   - index the field by the enclosing function's slot parameter (the
+//     first int32 parameter: the host or switch the event belongs to),
+//     as in t.tables[host].insert(...), or
+//   - sit under a field declaration annotated
+//     `//v2plint:shardlocal <reason>`, asserting the field is
+//     deliberately cross-slot (aggregate counters, serial-engine-only
+//     state) — the reason is mandatory, a bare annotation is itself a
+//     finding, or
+//   - carry an ordinary `//v2plint:allow shardstate <reason>` waiver at
+//     the access site for one-off cross-slot touches (receive-side
+//     learning writes the destination's table from the ToR's event).
+//
+// Mutations inside a function literal are flagged regardless of
+// indexing: a closure handed to the event queue runs in whatever slot
+// context the queue fires it, so nothing inside one is provably
+// slot-local (this is exactly the pending-install pattern in
+// internal/baselines/hostcache.go).
+//
+// Scope limits: only same-package reachability is traversed (a tier
+// embedded from another package is an implementor there and is checked
+// by that package's pass), methods of non-state element types
+// (hostTable and friends) are judged at their call sites by how the
+// container is indexed, and slot-derived aliases (h := host) are not
+// recognized — index by the parameter itself.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+var ShardState = &Analyzer{
+	Name: "shardstate",
+	Doc: "requires per-event mutable state of simnet.Scheme implementors " +
+		"to be indexed by the event's slot parameter (per-host/per-switch) " +
+		"or annotated //v2plint:shardlocal <reason>; mutations from " +
+		"function literals are never slot-local",
+	Run: runShardState,
+}
+
+// schemeEntryPoints are the per-event handlers of simnet.Scheme, the
+// roots of the shard-safety obligation.
+var schemeEntryPoints = []string{"SenderResolve", "SwitchArrive", "HostMisdeliver"}
+
+func runShardState(pass *Pass) {
+	if pass.Pkg == nil {
+		return
+	}
+	scheme, _ := schemeInterfaces(pass.Pkg)
+	if scheme == nil {
+		return
+	}
+	annots := collectShardLocals(pass)
+	state := map[*types.TypeName]bool{}
+	var impls []*types.Named
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() { // Names is sorted
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok || types.IsInterface(named) {
+			continue
+		}
+		if !types.Implements(types.NewPointer(named), scheme) {
+			continue
+		}
+		impls = append(impls, named)
+		addStateType(state, named)
+	}
+	if len(impls) == 0 {
+		return
+	}
+
+	nodeByKey := map[string]*funcNode{}
+	for _, n := range pass.nodes {
+		nodeByKey[n.key] = n
+	}
+	// Reachability: the entry points plus everything they call inside
+	// this package.
+	var work []*funcNode
+	seen := map[string]bool{}
+	for _, named := range impls {
+		for _, m := range schemeEntryPoints {
+			obj, _, _ := types.LookupFieldOrMethod(types.NewPointer(named), true, pass.Pkg, m)
+			fn, ok := obj.(*types.Func)
+			if !ok {
+				continue
+			}
+			key, _ := methodKeyOf(fn)
+			if n := nodeByKey[key]; n != nil && !seen[key] {
+				seen[key] = true
+				work = append(work, n)
+			}
+		}
+	}
+	for i := 0; i < len(work); i++ {
+		for _, cs := range work[i].calls {
+			for _, tgt := range cs.targets {
+				if n := nodeByKey[tgt.key]; n != nil && !seen[tgt.key] {
+					seen[tgt.key] = true
+					work = append(work, n)
+				}
+			}
+		}
+	}
+	sort.Slice(work, func(i, j int) bool { return work[i].key < work[j].key })
+	for _, n := range work {
+		checkShardMutations(pass, n, state, annots)
+	}
+}
+
+// checkShardMutations scans one reachable function for scheme-state
+// mutations that are not provably slot-local.
+func checkShardMutations(pass *Pass, n *funcNode, state map[*types.TypeName]bool, annots shardLocalSet) {
+	fn := n.decl
+	if fn == nil {
+		return
+	}
+	w := &ssWalk{pass: pass, state: state, annots: annots, fnName: funcKey(fn), roots: map[*types.Var]bool{}}
+	if fn.Recv != nil && len(fn.Recv.List) > 0 && len(fn.Recv.List[0].Names) > 0 {
+		if v, ok := pass.TypesInfo.Defs[fn.Recv.List[0].Names[0]].(*types.Var); ok {
+			if isSchemeStateTypeSet(state, v.Type()) {
+				w.roots[v] = true
+			}
+		}
+	}
+	if fn.Type.Params != nil {
+		for _, field := range fn.Type.Params.List {
+			for _, name := range field.Names {
+				v, ok := pass.TypesInfo.Defs[name].(*types.Var)
+				if !ok {
+					continue
+				}
+				if isSchemeStateTypeSet(state, v.Type()) {
+					w.roots[v] = true
+				}
+				if w.slot == nil {
+					if b, ok := v.Type().(*types.Basic); ok && b.Kind() == types.Int32 {
+						w.slot = v
+					}
+				}
+			}
+		}
+	}
+	if len(w.roots) == 0 {
+		return
+	}
+	w.scan(fn.Body, false)
+}
+
+func isSchemeStateTypeSet(state map[*types.TypeName]bool, t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && state[named.Obj()]
+}
+
+type ssWalk struct {
+	pass   *Pass
+	state  map[*types.TypeName]bool
+	annots shardLocalSet
+	fnName string
+	roots  map[*types.Var]bool
+	slot   *types.Var
+}
+
+// scan walks a body, descending into function literals with the
+// inClosure flag raised.
+func (w *ssWalk) scan(node ast.Node, inClosure bool) {
+	ast.Inspect(node, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			w.scan(x.Body, true)
+			return false
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				w.mutation(lhs, inClosure)
+			}
+		case *ast.IncDecStmt:
+			w.mutation(x.X, inClosure)
+		case *ast.CallExpr:
+			w.callMutation(x, inClosure)
+		}
+		return true
+	})
+}
+
+// callMutation flags state mutations performed through calls: delete
+// on a state-rooted map, and pointer-receiver method calls whose
+// receiver path roots at state. Calls into methods that are themselves
+// declared on a state type are skipped — those bodies are scanned in
+// their own right (assume/guarantee).
+func (w *ssWalk) callMutation(call *ast.CallExpr, inClosure bool) {
+	fun := ast.Unparen(call.Fun)
+	if id, ok := fun.(*ast.Ident); ok {
+		if b, ok := w.pass.TypesInfo.Uses[id].(*types.Builtin); ok && b.Name() == "delete" && len(call.Args) > 0 {
+			w.mutation(call.Args[0], inClosure)
+			return
+		}
+	}
+	sel, ok := fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	m, ok := w.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return
+	}
+	sig, ok := m.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return
+	}
+	if isSchemeStateTypeSet(w.state, sig.Recv().Type()) {
+		return
+	}
+	// Only same-package methods that provably write their receiver count
+	// as mutations (read-only lookups and cross-package infrastructure
+	// calls pass freely).
+	if !w.pass.Prog.stateMutatingCall(m, w.pass.Pkg.Path()) {
+		return
+	}
+	w.mutation(sel.X, inClosure)
+}
+
+// mutation judges one write target: it must root at a state variable,
+// and then either be indexed by the slot parameter, sit under an
+// annotated field, or it is a finding.
+func (w *ssWalk) mutation(e ast.Expr, inClosure bool) {
+	// Collect the access path top-down, then reverse it so elems[0] is
+	// the first step off the base identifier.
+	var elems []ast.Expr
+	cur := ast.Unparen(e)
+walk:
+	for {
+		switch x := cur.(type) {
+		case *ast.SelectorExpr:
+			elems = append(elems, x)
+			cur = ast.Unparen(x.X)
+		case *ast.IndexExpr:
+			elems = append(elems, x)
+			cur = ast.Unparen(x.X)
+		case *ast.StarExpr:
+			elems = append(elems, x)
+			cur = ast.Unparen(x.X)
+		default:
+			break walk
+		}
+	}
+	base, ok := cur.(*ast.Ident)
+	if !ok {
+		return
+	}
+	bv, ok := w.pass.TypesInfo.Uses[base].(*types.Var)
+	if !ok || !w.roots[bv] {
+		return
+	}
+	for i, j := 0, len(elems)-1; i < j; i, j = i+1, j-1 {
+		elems[i], elems[j] = elems[j], elems[i]
+	}
+	// An annotated field anywhere on the path waives the mutation.
+	firstSel := -1
+	for i, el := range elems {
+		sel, ok := el.(*ast.SelectorExpr)
+		if !ok {
+			continue
+		}
+		if v, ok := w.pass.TypesInfo.Uses[sel.Sel].(*types.Var); ok && v.IsField() {
+			if firstSel < 0 {
+				firstSel = i
+			}
+			if w.annots.field(w.pass.Fset, v) {
+				return
+			}
+		}
+	}
+	target := renderExpr(e)
+	if inClosure {
+		w.pass.Reportf(e.Pos(),
+			"per-event code %s mutates scheme state %s from a function literal, which runs outside the event's slot context; annotate the field //v2plint:shardlocal <reason> if this is deliberate",
+			w.fnName, target)
+		return
+	}
+	if firstSel >= 0 && firstSel+1 < len(elems) {
+		if idx, ok := elems[firstSel+1].(*ast.IndexExpr); ok {
+			if id, ok := ast.Unparen(idx.Index).(*ast.Ident); ok && w.slot != nil {
+				if v, ok := w.pass.TypesInfo.Uses[id].(*types.Var); ok && v == w.slot {
+					return // per-slot: indexed by the event's slot parameter
+				}
+			}
+		}
+	}
+	if w.slot == nil {
+		w.pass.Reportf(e.Pos(),
+			"per-event code %s mutates scheme state %s but has no int32 slot parameter to index it by; make the state per-slot or annotate the field //v2plint:shardlocal <reason>",
+			w.fnName, target)
+		return
+	}
+	w.pass.Reportf(e.Pos(),
+		"per-event code %s mutates scheme state %s without indexing by the event's slot parameter %s; make it per-slot or annotate the field //v2plint:shardlocal <reason>",
+		w.fnName, target, w.slot.Name())
+}
+
+// --- //v2plint:shardlocal annotations ---
+
+// shardLocalSet records reason-carrying shardlocal annotation lines:
+// file → line → standalone (true when the comment is alone on its
+// line, doc-comment position; false when it trails a declaration).
+type shardLocalSet map[string]map[int]bool
+
+// collectShardLocals scans comments for //v2plint:shardlocal,
+// reporting bare ones (no reason) as findings and returning the
+// reasoned ones.
+func collectShardLocals(pass *Pass) shardLocalSet {
+	out := shardLocalSet{}
+	for _, f := range pass.Files {
+		// Lines holding any code token: an annotation on such a line
+		// trails a declaration and must not spill onto the next line's
+		// field (the line-above rule exists for doc-position comments).
+		codeLines := map[int]bool{}
+		ast.Inspect(f, func(x ast.Node) bool {
+			switch x.(type) {
+			case nil, *ast.Comment, *ast.CommentGroup:
+				return false
+			}
+			codeLines[pass.Fset.Position(x.Pos()).Line] = true
+			return true
+		})
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if text != "v2plint:shardlocal" && !strings.HasPrefix(text, "v2plint:shardlocal ") {
+					continue
+				}
+				reason := strings.TrimSpace(strings.TrimPrefix(text, "v2plint:shardlocal"))
+				if reason == "" {
+					pass.Reportf(c.Pos(), "//v2plint:shardlocal needs a reason: why is cross-slot state safe here?")
+					continue
+				}
+				pos := pass.Fset.Position(c.Pos())
+				if out[pos.Filename] == nil {
+					out[pos.Filename] = map[int]bool{}
+				}
+				out[pos.Filename][pos.Line] = !codeLines[pos.Line]
+			}
+		}
+	}
+	return out
+}
+
+// field reports whether the field's declaration line carries a
+// reasoned shardlocal annotation, or the line directly above does as a
+// standalone doc-position comment (a trailing annotation belongs to
+// the previous field's line and does not spill downward).
+func (s shardLocalSet) field(fset *token.FileSet, v *types.Var) bool {
+	if v == nil || !v.Pos().IsValid() {
+		return false
+	}
+	pos := fset.Position(v.Pos())
+	lines := s[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	if _, ok := lines[pos.Line]; ok {
+		return true
+	}
+	return lines[pos.Line-1]
+}

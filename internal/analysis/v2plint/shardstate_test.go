@@ -1,0 +1,18 @@
+package v2plint_test
+
+import (
+	"testing"
+
+	"switchv2p/internal/analysis/v2plint"
+	"switchv2p/internal/analysis/v2plint/analysistest"
+)
+
+func TestShardState(t *testing.T) {
+	// The main package covers unindexed writes, slotless helpers,
+	// closure mutations (the pending-install pattern), field-annotation
+	// waivers, and the bare-annotation finding; "shardstate/clean" is
+	// the all-silent negative: fully slot-indexed state, an annotated
+	// counter, and a site waiver.
+	analysistest.Run(t, analysistest.TestData(t), v2plint.ShardState,
+		"shardstate", "shardstate/clean")
+}

@@ -1,0 +1,48 @@
+// Package clean is the detflow negative golden: flows the analyzer
+// must stay silent on — canonicalized map order, killed taint, and an
+// explicitly waived deliberate flow. No want comments: any diagnostic
+// here is a test failure.
+package clean
+
+import (
+	"sort"
+	"time"
+
+	"eventq"
+)
+
+// SortedKeys is the canonical collect-and-sort idiom: sorting removes
+// the dependence on discovery order, so the scheduled keys are clean.
+func SortedKeys(q *eventq.Queue, m map[int64]int64) {
+	keys := make([]int64, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		q.At(k, func() {})
+	}
+}
+
+// Rekey stores map-iteration keys back into a map: membership does not
+// depend on visit order, so the store is canonical.
+func Rekey(dst, src map[int64]int64) {
+	for k, v := range src {
+		dst[k] = v
+	}
+}
+
+// Reassign shows the flow-sensitive kill: overwriting with a clean
+// value ends the taint before the sink.
+func Reassign(q *eventq.Queue) {
+	var t0 time.Time
+	d := int64(time.Since(t0))
+	d = 42
+	q.After(d, func() {})
+}
+
+// Waived is a deliberate wall-clock flow with a reasoned waiver.
+func Waived(q *eventq.Queue) {
+	var t0 time.Time
+	q.After(int64(time.Since(t0)), func() {}) //v2plint:allow detflow deliberate wall-clock pacing in a bench-only helper
+}

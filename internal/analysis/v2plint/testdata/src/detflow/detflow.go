@@ -1,0 +1,98 @@
+// Package detflow holds the positive golden cases for the detflow
+// analyzer: values derived from the wall clock, the global math/rand
+// generator, map iteration order, and pointer identity flowing into
+// each of the four sink classes, directly and through multi-hop
+// cross-package call chains.
+package detflow
+
+import (
+	"math/rand"
+	"time"
+
+	"detflow/helper"
+	"detflow/telemetry"
+	"eventq"
+	"simnet"
+)
+
+var _ simnet.Scheme = (*Cache)(nil)
+
+// Cache implements simnet.Scheme, so its fields are scheme cache state.
+type Cache struct {
+	table map[int64]int64
+	seq   []int64
+}
+
+func (*Cache) Name() string { return "Cache" }
+
+// Direct source → sink: a wall-clock reading scheduled as an event key.
+func Direct(q *eventq.Queue) {
+	var t0 time.Time
+	q.After(int64(time.Since(t0)), func() {}) // want `value derived from the wall clock flows into a scheduled event key`
+}
+
+// jitter buries the cross-package source one call deeper: the witness
+// chain must name both helper.Stamp and detflow.jitter.
+func jitter() int64 { return helper.Stamp() % 97 }
+
+// Schedule is the multi-hop cross-package case.
+func Schedule(q *eventq.Queue) {
+	d := jitter()
+	q.After(d, func() {}) // want `time\.Since → helper\.Stamp → detflow\.jitter → detflow\.Schedule → q\.After arg 1`
+}
+
+// schedule reaches the sink through a parameter (paramSink summary);
+// the finding lands at the tainted call site, not here.
+func schedule(q *eventq.Queue, key int64) {
+	q.At(key, func() {})
+}
+
+// Replay hands a global-rand draw to the sink-reaching parameter.
+func Replay(q *eventq.Queue) {
+	r := rand.Int63()
+	schedule(q, r) // want `value derived from the global math/rand generator flows into a scheduled event key: rand\.Int63 → detflow\.Replay → detflow\.schedule → q\.At arg 1`
+}
+
+// Roundtrip launders the draw through a pass-through helper in another
+// package; paramRet keeps the taint alive across the hop.
+func Roundtrip(q *eventq.Queue) {
+	r := helper.Scale(rand.Int63())
+	q.At(r, func() {}) // want `value derived from the global math/rand generator flows into a scheduled event key`
+}
+
+// Learn stores a rand-derived value into scheme cache state.
+func (c *Cache) Learn(vip int64) {
+	c.table[vip] = rand.Int63() // want `value derived from the global math/rand generator flows into scheme cache state`
+}
+
+// Absorb leaks map iteration order into scheme state: the visit order
+// of src decides seq's contents. (Storing k back into a map would be
+// canonical — order-independent — and is the clean package's case.)
+func (c *Cache) Absorb(src map[int64]int64) {
+	for k := range src {
+		c.seq = append(c.seq, k) // want `value derived from map iteration order flows into scheme cache state`
+	}
+}
+
+// RunReport matches the *Report naming convention, making its fields
+// report-field sinks.
+type RunReport struct {
+	Seed int64
+}
+
+// Fill seeds the report from the global generator.
+func Fill(r *RunReport) {
+	r.Seed = rand.Int63() // want `value derived from the global math/rand generator flows into a report field`
+}
+
+// Emit feeds a wall-clock reading to a telemetry method.
+func Emit(reg *telemetry.Registry) {
+	var t0 time.Time
+	reg.Observe("wall", int64(time.Since(t0))) // want `value derived from the wall clock flows into telemetry output`
+}
+
+// Record writes a wall-clock reading into a telemetry-owned field.
+func Record(reg *telemetry.Registry) {
+	var t0 time.Time
+	reg.Last = int64(time.Since(t0)) // want `value derived from the wall clock flows into telemetry output`
+}

@@ -1,0 +1,18 @@
+// Package helper provides cross-package taint carriers for the detflow
+// golden tests: the taint must travel through this package's exported
+// summaries (retTaint, paramRet) to reach the sinks in the main
+// package, pinning the multi-hop witness chains.
+package helper
+
+import "time"
+
+// Stamp returns a wall-clock reading; callers inherit the taint through
+// the retTaint summary.
+func Stamp() int64 {
+	var t0 time.Time
+	return int64(time.Since(t0))
+}
+
+// Scale passes its parameter through to its result (paramRet summary):
+// taint entering arg 0 leaves through the return value.
+func Scale(v int64) int64 { return v * 2 }

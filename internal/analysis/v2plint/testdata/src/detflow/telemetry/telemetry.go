@@ -1,0 +1,18 @@
+// Package telemetry stubs the simulator's telemetry registry: detflow
+// classifies method arguments and field writes of telemetry-package
+// types as telemetry-output sinks by the package's base name.
+package telemetry
+
+// Registry collects named counters.
+type Registry struct {
+	Last int64
+	vals map[string]int64
+}
+
+// Observe records one sample.
+func (r *Registry) Observe(name string, v int64) {
+	if r.vals == nil {
+		r.vals = map[string]int64{}
+	}
+	r.vals[name] += v
+}

@@ -1,0 +1,43 @@
+// Package clean is the shardstate negative golden: a scheme whose
+// per-event state handling is entirely slot-local, annotated, or
+// site-waived. No want comments: any diagnostic here is a test
+// failure.
+package clean
+
+import "simnet"
+
+var _ simnet.Scheme = (*PerSlot)(nil)
+
+type table struct{ n int }
+
+func (t *table) insert(k int64) { t.n++ }
+
+// PerSlot keeps every mutable field indexed by the event's slot, with
+// the one aggregate counter annotated.
+type PerSlot struct {
+	tables []table
+	hits   int64 //v2plint:shardlocal aggregate counter, read only after the run
+}
+
+func (*PerSlot) Name() string { return "PerSlot" }
+
+func (p *PerSlot) SenderResolve(host int32, vip int64) {
+	p.tables[host].insert(vip)
+	p.hits++
+}
+
+func (p *PerSlot) SwitchArrive(sw int32, vip int64) {
+	p.tables[sw].insert(vip)
+	local := vip * 2 // locals are never scheme state
+	_ = local
+	//v2plint:allow shardstate receive-side learning deliberately writes slot 0 from any event
+	p.tables[0].insert(vip)
+}
+
+// Flush has no slot parameter but also touches no scheme state beyond
+// an annotated field, so it stays silent.
+func (p *PerSlot) flush() { p.hits = 0 }
+
+func (p *PerSlot) HostMisdeliver(host int32, vip int64) {
+	p.flush()
+}

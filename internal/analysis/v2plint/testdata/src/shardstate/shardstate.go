@@ -1,0 +1,76 @@
+// Package shardstate holds the positive golden cases for the
+// shardstate analyzer: per-event mutations of a simnet.Scheme
+// implementor's state that are not provably slot-local — unindexed
+// writes, writes from slotless helpers, and mutations inside function
+// literals (the pending-install pattern).
+package shardstate
+
+import "simnet"
+
+var _ simnet.Scheme = (*Cache)(nil)
+
+// lru stands in for the per-host tables: a non-state element type
+// judged at its call sites by how the container is indexed.
+type lru struct{ n int }
+
+func (l *lru) insert(k int64) { l.n++ }
+func (l *lru) len() int       { return l.n }
+
+// Cache implements simnet.Scheme; its mutable fields carry the
+// shard-safety obligation.
+type Cache struct {
+	tables   []lru
+	pending  []map[int64]bool
+	total    int64 //v2plint:shardlocal aggregate counter, read only after the run
+	installs int64 //v2plint:shardlocal install tally is deliberately global; reduced post-run
+	skew     int64
+}
+
+func (*Cache) Name() string { return "Cache" }
+
+// after stands in for the event queue's deferred execution.
+func after(fn func()) { fn() }
+
+// SenderResolve is a per-event entry point; host is its slot parameter.
+func (c *Cache) SenderResolve(host int32, vip int64) {
+	c.tables[host].insert(vip) // silent: indexed by the slot parameter
+	c.total++                  // silent: annotated field
+	c.skew++                   // want `per-event code Cache\.SenderResolve mutates scheme state c\.skew without indexing by the event's slot parameter host`
+	c.schedule(host, vip)
+}
+
+// schedule is reachable from the entry point, so its mutations carry
+// the same obligation; the closure handed to after runs in whatever
+// slot context fires it.
+func (c *Cache) schedule(host int32, vip int64) {
+	if c.pending[host] == nil {
+		c.pending[host] = map[int64]bool{} // silent: indexed by the slot parameter
+	}
+	c.pending[host][vip] = true // silent: indexed by the slot parameter
+	after(func() {
+		delete(c.pending[host], vip) // want `per-event code Cache\.schedule mutates scheme state c\.pending\[host\] from a function literal`
+		c.tables[host].insert(vip)   // want `per-event code Cache\.schedule mutates scheme state c\.tables\[host\] from a function literal`
+		c.installs++                 // silent: the annotation also waives closure mutations
+	})
+}
+
+// SwitchArrive indexes a sibling slot's table: cross-slot.
+func (c *Cache) SwitchArrive(sw int32, vip int64) {
+	c.tables[0].insert(vip) // want `per-event code Cache\.SwitchArrive mutates scheme state c\.tables\[0\] without indexing by the event's slot parameter sw`
+	if c.tables[sw].len() > 8 {
+		c.tables[sw].insert(vip) // silent: indexed by the slot parameter
+	}
+}
+
+// HostMisdeliver delegates to a helper that has no slot parameter.
+func (c *Cache) HostMisdeliver(host int32, vip int64) {
+	c.note(vip)
+}
+
+// note cannot prove slot-locality: it has no int32 parameter.
+func (c *Cache) note(vip int64) {
+	c.skew++ // want `per-event code Cache\.note mutates scheme state c\.skew but has no int32 slot parameter to index it by`
+}
+
+//v2plint:shardlocal
+// want-above `//v2plint:shardlocal needs a reason: why is cross-slot state safe here\?`

@@ -10,10 +10,11 @@
 // a CacheFlusher obligation on every scheme, nil-safe telemetry
 // handles); those are machine-checked here too.
 //
-// The suite ships thirteen analyzers — ten intraprocedural, plus three
-// interprocedural ones built on a per-Program call graph (see
-// callgraph.go) that resolves static calls, concrete method calls, and
-// interface calls via the implements-relation:
+// The suite ships fifteen analyzers — ten intraprocedural, plus five
+// built on the per-Program call graph (see callgraph.go) that resolves
+// static calls, concrete method calls, and interface calls via the
+// implements-relation, one of which (detflow) adds a flow-sensitive
+// taint layer on top (see dataflow.go):
 //
 //   - detrange: flags `range` over a map whose body feeds an
 //     ordering-sensitive sink (append, float accumulation, event
@@ -61,6 +62,16 @@
 //     points must stay pure functions of (spec, seed): no wall-clock
 //     reads, no global rand, no reads of telemetry state or
 //     simnet.Counters, directly or transitively.
+//   - detflow: interprocedural determinism taint — values derived from
+//     the wall clock, the global math/rand generator, map iteration
+//     order, or pointer identity must not flow into scheduled event
+//     keys, scheme cache state, report fields, or telemetry output;
+//     diagnostics carry the full source→sink witness chain.
+//   - shardstate: every simnet.Scheme implementor's per-event mutable
+//     state must be indexed by the event's slot parameter (per-host /
+//     per-switch), or annotated //v2plint:shardlocal <reason> — the
+//     machine-checked form of ROADMAP item 3's "pending-install maps
+//     and LRU lists are per-event global state" gap.
 //   - allowreason: requires every //v2plint:allow waiver to carry a
 //     justification after the analyzer list.
 //
@@ -163,14 +174,15 @@ type TextEdit struct {
 	NewText []byte
 }
 
-// Analyzers returns the full v2plint suite in stable order. The three
-// interprocedural analyzers (hotpathreach, workersafe, planpure) come
-// after the intraprocedural ones; allowreason stays last.
+// Analyzers returns the full v2plint suite in stable order. The
+// interprocedural analyzers (hotpathreach, workersafe, planpure,
+// detflow, shardstate) come after the intraprocedural ones;
+// allowreason stays last.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		DetRange, WallClock, GlobalRand, SimTimeUnits,
 		HotPathAlloc, FaultGate, SchemeComplete, NilSafeMetrics, ShardOwner,
-		HotPathReach, WorkerSafe, PlanPure,
+		HotPathReach, WorkerSafe, PlanPure, DetFlow, ShardState,
 		AllowReason,
 	}
 }

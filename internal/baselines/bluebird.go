@@ -49,10 +49,12 @@ type Bluebird struct {
 	caches []*core.Cache // route caches, ToRs only
 	cp     []bluebirdCP  // per-ToR control plane
 
-	// Stats.
-	Hits, Misses int64
-	CPDrops      int64
-	CPForwarded  int64
+	// Stats: aggregate counters, only read after the run; cross-slot
+	// increments cannot influence scheduling. Sharding the centralized
+	// schemes' state is the ROADMAP item 1 follow-on.
+	Hits, Misses int64 //v2plint:shardlocal aggregate counter, post-run read only
+	CPDrops      int64 //v2plint:shardlocal aggregate counter, post-run read only
+	CPForwarded  int64 //v2plint:shardlocal aggregate counter, post-run read only
 }
 
 // NewBluebird builds the baseline with the given per-ToR route-cache

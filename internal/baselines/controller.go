@@ -32,11 +32,11 @@ type Controller struct {
 	ExactVarLimit int
 
 	installed []map[netaddr.VIP]netaddr.PIP // per switch
-	counts    map[pairKey]int64             // traffic matrix since last invocation
-	scheduled bool
+	counts    map[pairKey]int64             //v2plint:shardlocal traffic matrix is global by design in the centralized controller (ROADMAP item 1 covers sharding it)
+	scheduled bool                          //v2plint:shardlocal single global invocation-timer flag; the controller is centralized by design
 
 	// Stats.
-	Lookups, Hits int64
+	Lookups, Hits int64 //v2plint:shardlocal aggregate counter, post-run read only
 	Invocations   int64
 	ExactSolves   int64
 	GreedySolves  int64

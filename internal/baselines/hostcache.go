@@ -210,11 +210,14 @@ type HostStats struct {
 // and HostToR: bounded LRU tables, asynchronous slow-path installation,
 // TTL expiry, and host-layer invalidation driven by misdeliveries.
 type hostTier struct {
-	opt     HostTierOptions
-	tables  []hostTable
-	pending []map[netaddr.VIP]struct{}
+	opt    HostTierOptions
+	tables []hostTable
+	// pending dedupes in-flight slow-path installs. It is indexed by
+	// host but written from install-completion closures that run after
+	// the slow-path delay, outside the originating event's slot.
+	pending []map[netaddr.VIP]struct{} //v2plint:shardlocal pending-install set is per-event global state today; per-domain sharding is ROADMAP item 3
 
-	HS HostStats
+	HS HostStats //v2plint:shardlocal aggregate stats, reduced post-run; sharding them rides along with ROADMAP item 3
 }
 
 func newHostTier(topo *topology.Topology, opt HostTierOptions) hostTier {
@@ -274,6 +277,7 @@ func (t *hostTier) scheduleInstall(e *simnet.Engine, host int32, vip netaddr.VIP
 			return // the VM departed while the install was in flight
 		}
 		t.HS.Installs++
+		//v2plint:allow shardstate install completes after the slow-path delay, outside the originating slot; LRU tables are per-event global state until ROADMAP item 3 shards them
 		if t.tables[host].insert(vip, pip, e.Now()) {
 			t.HS.Evictions++
 		}
@@ -301,6 +305,7 @@ func (t *hostTier) learnAtToR(e *simnet.Engine, sw int32, p *packet.Packet) {
 		return
 	}
 	t.HS.Learned++
+	//v2plint:allow shardstate receive-side learning writes the destination host's table from the ToR's event; cross-slot until ROADMAP item 3 shards the tables
 	if t.tables[dst].insert(p.SrcVIP, p.SrcPIP, e.Now()) {
 		t.HS.Evictions++
 	}
@@ -317,6 +322,7 @@ func (t *hostTier) invalidateSender(e *simnet.Engine, staleHost int32, p *packet
 		return
 	}
 	t.HS.InvalidationsSent++
+	//v2plint:allow shardstate invalidation notifies the sender's table from the stale host's event; cross-slot until ROADMAP item 3 shards the tables
 	if t.tables[sender].invalidate(p.DstVIP, e.Topo.Hosts[staleHost].PIP) {
 		t.HS.Invalidations++
 	}

@@ -21,10 +21,12 @@ type OnDemand struct {
 	// cache miss (40 µs in §5).
 	MissPenalty simtime.Duration
 
-	hostCache []map[netaddr.VIP]netaddr.PIP
+	// hostCache entries are installed by a closure that fires after the
+	// miss penalty elapses, outside the originating event's slot.
+	hostCache []map[netaddr.VIP]netaddr.PIP //v2plint:shardlocal deferred installs are per-event global state today; per-domain sharding is ROADMAP item 3
 
 	// Stats.
-	HostHits, HostMisses int64
+	HostHits, HostMisses int64 //v2plint:shardlocal aggregate counter, post-run read only
 }
 
 // NewOnDemand builds the baseline.

@@ -30,12 +30,12 @@ type Hybrid struct {
 	// (order of milliseconds in Zeta/Achelous).
 	InstallLatency simtime.Duration
 
-	counts    map[hostDstKey]int
-	hostCache []map[netaddr.VIP]netaddr.PIP
+	counts    map[hostDstKey]int            //v2plint:shardlocal offload counters share one map across hosts; per-domain sharding is ROADMAP item 3
+	hostCache []map[netaddr.VIP]netaddr.PIP //v2plint:shardlocal controller installs fire after InstallLatency, outside the originating slot; sharding is ROADMAP item 3
 
 	// Stats.
-	HostHits     int64
-	RulesOffload int64
+	HostHits     int64 //v2plint:shardlocal aggregate counter, post-run read only
+	RulesOffload int64 //v2plint:shardlocal aggregate counter, post-run read only
 }
 
 type hostDstKey struct {

@@ -17,7 +17,7 @@ type LocalLearning struct {
 	caches []*core.Cache
 
 	// Stats.
-	Lookups, Hits int64
+	Lookups, Hits int64 //v2plint:shardlocal aggregate counter, post-run read only
 }
 
 // NewLocalLearning builds the strawman with the given per-switch cache

@@ -290,7 +290,7 @@ func (e *Engine) Run(horizon simtime.Time) {
 	p := e.Prof
 	// The profiling hook deliberately measures host wall time; it never
 	// feeds back into simulated time or results.
-	start := time.Now() //v2plint:allow wallclock profiling hook
+	start := time.Now() //v2plint:allow wallclock,detflow profiling hook: host wall time is telemetry about the run, not simulation state
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
 	mallocs := ms.Mallocs
@@ -308,7 +308,7 @@ func (e *Engine) Run(horizon simtime.Time) {
 	}
 	runtime.ReadMemStats(&ms)
 	p.Mallocs += ms.Mallocs - mallocs
-	p.Wall += time.Since(start) //v2plint:allow wallclock profiling hook
+	p.Wall += time.Since(start) //v2plint:allow wallclock,detflow profiling hook: host wall time is telemetry about the run, not simulation state
 	p.SimEnd = e.Q.Now()
 }
 

@@ -610,7 +610,7 @@ func (e *Engine) runSharded(horizon simtime.Time) {
 	if prof != nil {
 		// The profiling hook deliberately measures host wall time; it
 		// never feeds back into simulated time or results.
-		wallStart = time.Now() //v2plint:allow wallclock profiling hook
+		wallStart = time.Now() //v2plint:allow wallclock,detflow profiling hook: host wall time is telemetry about the run, not simulation state
 		runtime.ReadMemStats(&ms)
 		mallocs = ms.Mallocs
 		for _, n := range sh.domEvents {
@@ -689,7 +689,7 @@ func (e *Engine) runSharded(horizon simtime.Time) {
 		prof.ShardEvents = append(prof.ShardEvents[:0], sh.domEvents...)
 		runtime.ReadMemStats(&ms)
 		prof.Mallocs += ms.Mallocs - mallocs
-		prof.Wall += time.Since(wallStart) //v2plint:allow wallclock profiling hook
+		prof.Wall += time.Since(wallStart) //v2plint:allow wallclock,detflow profiling hook: host wall time is telemetry about the run, not simulation state
 		prof.SimEnd = sh.now
 	}
 }

@@ -12,12 +12,28 @@ go build ./...
 echo "== vet =="
 go vet ./...
 
-echo "== v2plint (determinism + contract lint, all thirteen analyzers) =="
+echo "== v2plint (determinism + contract lint, all fifteen analyzers) =="
 # -json keeps the findings machine-readable for CI annotation tooling;
 # a clean run prints [] and exits 0, any unwaived finding fails the
 # build. -time reports per-analyzer wall clock (plus call-graph
 # construction) on stderr so lint-cost regressions are visible in logs.
 go run ./cmd/v2plint -json -time ./...
+
+echo "== v2plint -fix idempotence (scratch copy, fixes converge in one pass) =="
+# Apply suggested fixes on a throwaway copy of the tracked tree, then
+# prove the fixed point: a plain re-run reports zero findings, and a
+# second -fix pass leaves every byte untouched.
+fixtmp="$(mktemp -d)"
+go build -o "$fixtmp/v2plint" ./cmd/v2plint
+git ls-files -z | tar --null -T - -cf - | tar -xf - -C "$fixtmp" --one-top-level=scratch
+(cd "$fixtmp/scratch" && "$fixtmp/v2plint" -fix ./...)
+(cd "$fixtmp/scratch" && "$fixtmp/v2plint" ./...) \
+  || { echo "v2plint -fix left findings behind"; rm -rf "$fixtmp"; exit 1; }
+cp -a "$fixtmp/scratch/." "$fixtmp/snapshot"
+(cd "$fixtmp/scratch" && "$fixtmp/v2plint" -fix ./...)
+diff -r "$fixtmp/scratch" "$fixtmp/snapshot" \
+  || { echo "v2plint -fix is not idempotent: a second pass changed files"; rm -rf "$fixtmp"; exit 1; }
+rm -rf "$fixtmp"
 
 echo "== staticcheck =="
 if command -v staticcheck >/dev/null 2>&1; then
@@ -58,6 +74,13 @@ echo "== benches (one iteration each, smoke) =="
 # double as smoke coverage for the allocation-free hot path.
 go test -bench=. -benchmem -benchtime=1x -run='^$' ./...
 
+echo "== v2plint timing regression guard (fresh vs committed BENCH_lint.json) =="
+# Record the committed whole-module lint cost before benchsnap
+# regenerates the file below; a fresh run more than 3x slower than the
+# committed snapshot means an analyzer (or the call-graph build) has
+# blown up and fails the build. The 3x headroom absorbs machine noise.
+committed_lint_wall="$(grep -m1 '"wall_ms"' BENCH_lint.json | tr -dc '0-9.')"
+
 
 echo "== production-day scenario smoke =="
 # Short horizon: the quick scale compresses the six-phase operational
@@ -85,8 +108,12 @@ echo "== bench snapshots (BENCH_engine.json, BENCH_scenario.json, BENCH_workload
 # Machine-readable perf trajectory: engine event throughput (the
 # BenchmarkEngineEventsPerSec measurement), the quick production-day
 # cost, container-trace generation throughput, and the full-module
-# v2plint cost per analyzer. Committing the refreshed files records the
-# trend over time.
+# v2plint cost per analyzer (cold and warm cached runs included).
+# Committing the refreshed files records the trend over time.
 go run ./cmd/benchsnap -out .
+fresh_lint_wall="$(grep -m1 '"wall_ms"' BENCH_lint.json | tr -dc '0-9.')"
+echo "lint wall: committed ${committed_lint_wall}ms, fresh ${fresh_lint_wall}ms"
+awk -v c="$committed_lint_wall" -v f="$fresh_lint_wall" 'BEGIN { exit !(c > 0 && f <= 3 * c) }' \
+  || { echo "lint timing regression: fresh ${fresh_lint_wall}ms > 3x committed ${committed_lint_wall}ms"; exit 1; }
 
 echo "CI OK"
